@@ -1,0 +1,16 @@
+package main
+
+import (
+	"fmt"
+
+	"contextrank"
+	"contextrank/internal/newsgen"
+)
+
+func main() {
+	sys := contextrank.Build(contextrank.SmallConfig(42))
+	r, _ := sys.TrainRanker()
+	docs := newsgen.Generate(sys.Internal().World, newsgen.Config{Seed: 777, NumStories: 80})
+	doc := &docs[3]
+	fmt.Println(len(r.Keywords(doc.Text, 3)), r.Keywords(doc.Text, 3))
+}

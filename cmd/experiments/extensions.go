@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"contextrank/internal/core"
+	"contextrank/internal/features"
+	"contextrank/internal/framework"
+	"contextrank/internal/online"
+	"contextrank/internal/ranksvm"
+	"contextrank/internal/relevance"
+	"contextrank/internal/world"
+)
+
+// runFeatureSelection reproduces the §IV-A negative result: the candidate
+// features the paper evaluated and eliminated do not improve the model.
+func runFeatureSelection(s *core.System, seed int64) {
+	fmt.Println("== §IV-A feature selection (paper: eliminated candidates 'prove not to improve upon' the selected features)")
+	selected, withEliminated, err := s.FeatureSelection(5, seed)
+	check(err)
+	fmt.Printf("  %v\n  %v\n", selected, withEliminated)
+	delta := 100 * (selected.WeightedErrorRate - withEliminated.WeightedErrorRate)
+	fmt.Printf("  adding the eliminated candidates changes the error by %+.2f points\n\n", -delta)
+}
+
+// runSenses reproduces the §IV-C ambiguity discussion: sense-clustered
+// keyword packs recover contexts the diluted global pack misses.
+func runSenses(s *core.System) {
+	fmt.Println("== §IV-C ambiguous concepts (paper: 'there would be some good local clusters ... the scores can be boosted')")
+	global, sense, n := s.SenseExperiment(2)
+	if n == 0 {
+		fmt.Println("  no ambiguous mentions in the click corpus")
+		return
+	}
+	fmt.Printf("  %d ambiguous relevant mentions: global-pack coverage %.3f, best-sense coverage %.3f (%+.0f%%)\n\n",
+		n, global, sense, 100*(sense-global)/global)
+}
+
+// runOnline reproduces the §VIII future-work scenario: live CTR spikes
+// re-rank a breaking-news concept in real time.
+func runOnline(s *core.System, seed int64) {
+	fmt.Println("== §VIII online adaptation (paper future work: 'react intelligently to world events in real time')")
+	learned := &core.LearnedMethod{UseRelevance: true, Resource: relevance.Snippets, Options: ranksvm.Options{Seed: seed}}
+	check(learned.Fit(s.Dataset([]relevance.Resource{relevance.Snippets})))
+	names := make([]string, len(s.World.Concepts))
+	for i := range s.World.Concepts {
+		names[i] = s.World.Concepts[i].Name
+	}
+	table := framework.BuildInterestTable(names, func(n string) features.Fields { return s.Fields(n) })
+	packs := framework.BuildKeywordPacks(s.RelevanceStore(relevance.Snippets))
+	rt := framework.NewRuntime(s.Pipeline, table, packs, learned.Model())
+
+	var cold, hot *world.Concept
+	for i := range s.World.Concepts {
+		c := &s.World.Concepts[i]
+		if c.LowQuality() || c.Topic < 0 || s.Units.Score(c.Name) < 0.35 {
+			continue
+		}
+		if cold == nil || c.Interest < cold.Interest {
+			cold = c
+		}
+		if hot == nil || c.Interest > hot.Interest {
+			hot = c
+		}
+	}
+	if cold == nil || hot == nil || cold == hot {
+		fmt.Println("  no suitable concept pair")
+		return
+	}
+	rng := rand.New(rand.NewSource(seed + 31))
+	doc, _ := s.World.ComposeDoc(world.ComposeOptions{Topic: cold.Topic, Sentences: 12},
+		[]world.Mention{
+			{Concept: cold, Relevant: true, Repeat: 2},
+			{Concept: hot, Relevant: hot.Topic == cold.Topic},
+		}, rng)
+
+	tracker := online.NewTracker(online.Config{HalfLifeTicks: 4, MinViews: 50, MaxBoost: 6})
+	tracker.SetBaseline(cold.Name, 0.005)
+	adj := online.NewAdjuster(rt, tracker, 3)
+	result := core.RunBreakingNews(adj, tracker, cold.Name, doc, seed+32)
+	fmt.Printf("  concept %q (interest %.2f): rank %d before the spike -> %d during -> %d after decay\n\n",
+		result.Concept, cold.Interest, result.StaticRank, result.BoostedRank, result.DecayedRank)
+}

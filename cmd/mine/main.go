@@ -1,0 +1,108 @@
+// Command mine inspects the offline mining pipeline for a single concept:
+// its interestingness features (Table I), the relevant keywords from each
+// resource (§IV-B) with the Table II summation, and its senses when
+// ambiguous (§IV-C). Useful for debugging why the ranker scores a concept
+// the way it does.
+//
+// Usage:
+//
+//	mine -concept "global warming"           # named concept (must exist in the world)
+//	mine -list 20                            # list the hottest concepts to pick from
+//	mine -concept ... -resource prisma       # mine a specific resource
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"contextrank"
+	"contextrank/internal/relevance"
+)
+
+func main() {
+	concept := flag.String("concept", "", "concept to inspect")
+	list := flag.Int("list", 0, "list the N most interesting concepts and exit")
+	resource := flag.String("resource", "all", "mining resource: snippets|prisma|suggestions|all")
+	seed := flag.Int64("seed", 42, "world seed")
+	senses := flag.Bool("senses", false, "also cluster the concept's snippets into senses")
+	flag.Parse()
+
+	sys := contextrank.Build(contextrank.SmallConfig(*seed))
+	inner := sys.Internal()
+
+	if *list > 0 {
+		concepts := append([]contextrank.Concept(nil), sys.Concepts()...)
+		sort.Slice(concepts, func(i, j int) bool { return concepts[i].Interest > concepts[j].Interest })
+		if *list < len(concepts) {
+			concepts = concepts[:*list]
+		}
+		for _, c := range concepts {
+			fmt.Printf("%-40q interest=%.2f spec=%.2f quality=%.2f type=%s\n",
+				c.Name, c.Interest, c.Specificity, c.Quality, c.Type)
+		}
+		return
+	}
+
+	if *concept == "" {
+		fmt.Fprintln(os.Stderr, "need -concept or -list; try -list 20")
+		os.Exit(2)
+	}
+	c := inner.World.ConceptByName(*concept)
+	if c == nil {
+		fmt.Fprintf(os.Stderr, "concept %q not in this world (seed %d); use -list to browse\n", *concept, *seed)
+		os.Exit(1)
+	}
+
+	fmt.Printf("concept %q\n", c.Name)
+	fmt.Printf("  latent: interest=%.2f specificity=%.2f quality=%.2f topic=%d ambiguous=%v\n",
+		c.Interest, c.Specificity, c.Quality, c.Topic, c.Ambiguous())
+
+	f := inner.Fields(c.Name)
+	fmt.Println("  interestingness features (Table I):")
+	fmt.Printf("    freq_exact=%.2f freq_phrase_contained=%.2f unit_score=%.3f\n",
+		f.FreqExact, f.FreqPhraseContained, f.UnitScore)
+	fmt.Printf("    searchengine_phrase=%.2f concept_size=%.0f number_of_chars=%.0f\n",
+		f.SearchEnginePhrase, f.ConceptSize, f.NumberOfChars)
+	fmt.Printf("    subconcepts=%.0f high_level_type=%s wiki_word_count=%.2f\n",
+		f.Subconcepts, f.HighLevelType, f.WikiWordCount)
+
+	resources := map[string]relevance.Resource{
+		"snippets": relevance.Snippets, "prisma": relevance.Prisma, "suggestions": relevance.Suggestions,
+	}
+	var names []string
+	if *resource == "all" {
+		names = []string{"snippets", "prisma", "suggestions"}
+	} else if _, ok := resources[*resource]; ok {
+		names = []string{*resource}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown resource %q\n", *resource)
+		os.Exit(2)
+	}
+	for _, name := range names {
+		kws := inner.Miner.Mine(c.Name, resources[name])
+		fmt.Printf("  %s keywords: %d terms, summation %.1f (Table II)\n", name, len(kws), kws.Sum())
+		for i, e := range kws {
+			if i == 8 {
+				break
+			}
+			fmt.Printf("    %-24s %8.2f\n", e.Term, e.Weight)
+		}
+	}
+
+	if *senses {
+		ss := inner.Miner.MineSenses(c.Name, 2, 0)
+		fmt.Printf("  senses: %d\n", len(ss))
+		for i, s := range ss {
+			top := ""
+			for j, e := range s.Keywords {
+				if j == 5 {
+					break
+				}
+				top += e.Term + " "
+			}
+			fmt.Printf("    sense %d share=%.2f top terms: %s\n", i, s.Share, top)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command serve runs the Contextual Shortcuts annotation service: it builds
+// (or loads) the offline bundle, assembles the production runtime and
+// serves the HTTP API from internal/serve.
+//
+// Usage:
+//
+//	serve -addr :8080                 # build a small world, train, serve
+//	serve -bundle bundle.bin          # load a previously saved bundle
+//	serve -save bundle.bin            # train, save the bundle, then serve
+//
+// Try it:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/annotate -d '{"text":"...","top":3}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"contextrank"
+	"contextrank/internal/annotate"
+	"contextrank/internal/searchsim"
+	"contextrank/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 42, "world seed")
+	bundlePath := flag.String("bundle", "", "load the offline bundle from this file instead of training")
+	savePath := flag.String("save", "", "after training, save the bundle here")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "building world...")
+	sys := contextrank.Build(contextrank.SmallConfig(*seed))
+
+	var ranker *contextrank.Ranker
+	var err error
+	if *bundlePath != "" {
+		f, err2 := os.Open(*bundlePath)
+		if err2 != nil {
+			fatal(err2)
+		}
+		ranker, err = sys.LoadBundle(f)
+		f.Close()
+	} else {
+		fmt.Fprintln(os.Stderr, "training ranker...")
+		ranker, err = sys.TrainRanker()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ranker.SaveBundle(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "bundle written to %s\n", *savePath)
+	}
+
+	inner := sys.Internal()
+	suggestor := searchsim.NewSuggestor(inner.Log)
+	renderer := annotate.NewRenderer(&annotate.DefaultProvider{
+		Snippets: inner.Engine.Snippets,
+		Related: func(q string, max int) []string {
+			var out []string
+			for _, s := range suggestor.Suggest(q, max) {
+				out = append(out, s.Text)
+			}
+			return out
+		},
+		ArticleWords: inner.Wiki.WordCount,
+	})
+
+	srv := serve.NewServer(ranker.Runtime(), renderer)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
+	if err := httpServer.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+package contextrank
+
+import "testing"
+
+func TestKeywordsLimit(t *testing.T) {
+	s, r := testSystem(t)
+	doc := composeTestDoc(s, 11)
+	kws := r.Keywords(doc, 3)
+	if len(kws) > 3 {
+		t.Fatalf("Keywords returned %d items: %v", len(kws), kws)
+	}
+	seen := map[string]bool{}
+	for _, k := range kws {
+		if seen[k] {
+			t.Fatalf("duplicate keyword %q", k)
+		}
+		seen[k] = true
+	}
+}

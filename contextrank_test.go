@@ -1,0 +1,173 @@
+package contextrank
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"contextrank/internal/detect"
+	"contextrank/internal/world"
+)
+
+var (
+	sharedSystem *System
+	sharedRanker *Ranker
+)
+
+func testSystem(t testing.TB) (*System, *Ranker) {
+	t.Helper()
+	if sharedSystem == nil {
+		sharedSystem = Build(SmallConfig(77))
+		r, err := sharedSystem.TrainRanker()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedRanker = r
+	}
+	return sharedSystem, sharedRanker
+}
+
+func composeTestDoc(s *System, seed int64) string {
+	w := s.Internal().World
+	rng := rand.New(rand.NewSource(seed))
+	var hot, cold *world.Concept
+	for i := range w.Concepts {
+		c := &w.Concepts[i]
+		if c.Topic < 0 {
+			continue
+		}
+		if hot == nil || c.Interest > hot.Interest {
+			if cold == nil {
+				cold = hot
+			}
+			hot = c
+		}
+		if cold == nil || (c.Interest < cold.Interest && c.ID != hot.ID) {
+			cold = c
+		}
+	}
+	doc, _ := w.ComposeDoc(world.ComposeOptions{Topic: hot.Topic, Sentences: 14},
+		[]world.Mention{
+			{Concept: hot, Relevant: hot.Topic >= 0, Repeat: 2},
+			{Concept: cold, Relevant: false},
+		}, rng)
+	return doc + " Contact press@example.com for details."
+}
+
+func TestBuildAndStats(t *testing.T) {
+	s, _ := testSystem(t)
+	if len(s.Concepts()) == 0 {
+		t.Fatal("no concepts")
+	}
+	stats := s.DataStats()
+	if stats.CleanStories == 0 || stats.Clicks == 0 || stats.Windows == 0 {
+		t.Fatalf("empty click corpus: %+v", stats)
+	}
+}
+
+func TestAnnotateRanksAndIncludesPatterns(t *testing.T) {
+	s, r := testSystem(t)
+	doc := composeTestDoc(s, 5)
+	anns := r.Annotate(doc, 3)
+	if len(anns) == 0 {
+		t.Fatal("no annotations")
+	}
+	patterns := 0
+	distinct := make(map[string]bool)
+	for _, a := range anns {
+		if a.Detection.Kind == detect.KindPattern {
+			patterns++
+		} else {
+			distinct[a.Detection.Norm] = true
+		}
+	}
+	if patterns == 0 {
+		t.Fatal("email pattern not annotated")
+	}
+	if len(distinct) == 0 {
+		t.Fatal("no ranked concepts")
+	}
+	if len(distinct) > 3 {
+		t.Fatalf("topN not applied: %d distinct concepts", len(distinct))
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	s, r := testSystem(t)
+	doc := composeTestDoc(s, 6)
+	kws := r.Keywords(doc, 3)
+	if len(kws) == 0 {
+		t.Fatal("no keywords")
+	}
+	for _, k := range kws {
+		if strings.Contains(k, "@") {
+			t.Fatalf("pattern leaked into keywords: %q", k)
+		}
+	}
+}
+
+func TestSaveLoadModel(t *testing.T) {
+	s, r := testSystem(t)
+	var buf bytes.Buffer
+	if err := r.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.LoadRanker(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := composeTestDoc(s, 7)
+	a1, a2 := r.Annotate(doc, 5), r2.Annotate(doc, 5)
+	if len(a1) != len(a2) {
+		t.Fatal("loaded ranker disagrees on annotation count")
+	}
+	for i := range a1 {
+		if a1[i].Detection.Norm != a2[i].Detection.Norm {
+			t.Fatal("loaded ranker produces different ranking")
+		}
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	s, r := testSystem(t)
+	interest, keywords := r.MemoryFootprint()
+	n := len(s.Concepts())
+	if interest != n*18 {
+		t.Fatalf("interest bytes = %d, want %d (18/concept)", interest, n*18)
+	}
+	if keywords == 0 || keywords > n*400 {
+		t.Fatalf("keyword bytes = %d out of range (max %d)", keywords, n*400)
+	}
+}
+
+func TestThroughputMeasured(t *testing.T) {
+	s, r := testSystem(t)
+	r.Annotate(composeTestDoc(s, 8), 0)
+	stem, rank := r.Throughput()
+	if stem <= 0 || rank <= 0 {
+		t.Fatalf("throughput = %v, %v", stem, rank)
+	}
+}
+
+func TestSaveLoadBundle(t *testing.T) {
+	s, r := testSystem(t)
+	var buf bytes.Buffer
+	if err := r.SaveBundle(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := composeTestDoc(s, 21)
+	a1, a2 := r.Annotate(doc, 4), r2.Annotate(doc, 4)
+	if len(a1) != len(a2) {
+		t.Fatalf("bundle-restored ranker annotation count %d != %d", len(a2), len(a1))
+	}
+	for i := range a1 {
+		if a1[i].Detection.Norm != a2[i].Detection.Norm || a1[i].Score != a2[i].Score {
+			t.Fatal("bundle-restored ranker disagrees")
+		}
+	}
+}

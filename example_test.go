@@ -1,0 +1,34 @@
+package contextrank_test
+
+import (
+	"fmt"
+
+	"contextrank"
+)
+
+// Example demonstrates the full public life cycle: build the synthetic
+// world, train the ranker on click data, and annotate a document.
+func Example() {
+	sys := contextrank.Build(contextrank.SmallConfig(42))
+	ranker, err := sys.TrainRanker()
+	if err != nil {
+		panic(err)
+	}
+	doc := "Reach the desk at tips@example.net for follow-ups."
+	anns := ranker.Annotate(doc, 3)
+	fmt.Println(anns[0].Detection.Kind, anns[0].Detection.Text)
+	// Output: pattern tips@example.net
+}
+
+// ExampleRanker_Keywords extracts ad-style key concepts from a document.
+func ExampleRanker_Keywords() {
+	sys := contextrank.Build(contextrank.SmallConfig(42))
+	ranker, err := sys.TrainRanker()
+	if err != nil {
+		panic(err)
+	}
+	// Any text works; concepts outside the supported inventory are ignored.
+	kws := ranker.Keywords("an unremarkable sentence with no known concepts", 3)
+	fmt.Println(len(kws))
+	// Output: 0
+}

@@ -1,0 +1,63 @@
+// Quickstart: build the synthetic world, train the contextual keyword
+// ranker, and annotate a document — the three calls every consumer of the
+// library makes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"contextrank"
+	"contextrank/internal/world"
+)
+
+func main() {
+	// 1. Build the system: synthetic world, query log, search index,
+	// dictionaries, news traffic and click data. Deterministic in the seed.
+	sys := contextrank.Build(contextrank.SmallConfig(42))
+	stats := sys.DataStats()
+	fmt.Printf("built world with %d concepts; click corpus: %d stories, %d clicks\n",
+		len(sys.Concepts()), stats.CleanStories, stats.Clicks)
+
+	// 2. Train the ranker: offline feature mining + ranking SVM + packed
+	// production tables.
+	ranker, err := sys.TrainRanker()
+	if err != nil {
+		log.Fatal(err)
+	}
+	interestBytes, keywordBytes := ranker.MemoryFootprint()
+	fmt.Printf("ranker ready: %d B interestingness table, %d B keyword packs\n\n",
+		interestBytes, keywordBytes)
+
+	// 3. Annotate a document. We compose one from the world so it contains
+	// known concepts; any text works.
+	w := sys.Internal().World
+	var subject *world.Concept
+	for i := range w.Concepts {
+		c := &w.Concepts[i]
+		if c.Topic >= 0 && c.Interest > 0.6 && len(c.Terms) >= 2 {
+			subject = c
+			break
+		}
+	}
+	doc, _ := w.ComposeDoc(world.ComposeOptions{Topic: subject.Topic, Sentences: 10},
+		[]world.Mention{{Concept: subject, Relevant: true, Repeat: 2}},
+		rand.New(rand.NewSource(7)))
+	doc += " Send tips to tips@example.org."
+
+	fmt.Println("document:")
+	fmt.Println(" ", doc[:min(200, len(doc))], "...")
+	fmt.Println("\ntop annotations:")
+	for i, a := range ranker.Annotate(doc, 3) {
+		fmt.Printf("%2d. %-30q kind=%-8s score=%.3f\n",
+			i+1, a.Detection.Text, a.Detection.Kind, a.Score)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module contextrank
+
+go 1.22

@@ -1,0 +1,215 @@
+package annotate
+
+import (
+	"strings"
+	"testing"
+
+	"contextrank/internal/detect"
+	"contextrank/internal/framework"
+	"contextrank/internal/taxonomy"
+	"contextrank/internal/textproc"
+	"contextrank/internal/world"
+)
+
+func ann(text, norm string, kind detect.Kind, start int, score float64) framework.Annotation {
+	return framework.Annotation{
+		Detection: detect.Detection{
+			Text: text, Norm: norm, Kind: kind,
+			Start: start, End: start + len(text),
+		},
+		Score: score,
+	}
+}
+
+func TestRenderWrapsSpansAndEscapes(t *testing.T) {
+	text := `Troops <advanced> on Baghdad today.`
+	anns := []framework.Annotation{
+		ann("Baghdad", "baghdad", detect.KindNamed, strings.Index(text, "Baghdad"), 1.5),
+	}
+	r := NewRenderer(nil)
+	out := r.Render(text, anns)
+	if !strings.Contains(out, `data-concept="baghdad"`) {
+		t.Fatalf("missing shortcut span: %s", out)
+	}
+	if !strings.Contains(out, "&lt;advanced&gt;") {
+		t.Fatalf("HTML not escaped: %s", out)
+	}
+	if strings.Contains(out, "<advanced>") {
+		t.Fatalf("raw tag leaked: %s", out)
+	}
+	// Surface text preserved inside the span.
+	if !strings.Contains(out, ">Baghdad<") {
+		t.Fatalf("surface text missing: %s", out)
+	}
+}
+
+func TestRenderSkipsInvalidSpans(t *testing.T) {
+	text := "alpha beta gamma"
+	anns := []framework.Annotation{
+		ann("alpha beta", "a", detect.KindConcept, 0, 1),
+		ann("beta", "b", detect.KindConcept, 6, 1),     // overlaps the first
+		ann("way out", "c", detect.KindConcept, 99, 1), // out of range
+	}
+	r := NewRenderer(nil)
+	out := r.Render(text, anns)
+	if !strings.Contains(out, `data-concept="a"`) {
+		t.Fatalf("first annotation lost: %s", out)
+	}
+	if strings.Contains(out, `data-concept="b"`) || strings.Contains(out, `data-concept="c"`) {
+		t.Fatalf("invalid spans rendered: %s", out)
+	}
+}
+
+func TestRenderEmptyAnnotations(t *testing.T) {
+	r := NewRenderer(nil)
+	if got := r.Render("plain text", nil); got != "plain text" {
+		t.Fatalf("Render = %q", got)
+	}
+}
+
+func TestPatternOverlays(t *testing.T) {
+	p := &DefaultProvider{}
+	email := detect.Detection{Norm: "a@b.com", Kind: detect.KindPattern, PatternType: "email"}
+	if o := p.Overlay(email); o.Kind != "contact" || o.Lines[0] != "mailto:a@b.com" {
+		t.Fatalf("email overlay = %+v", o)
+	}
+	phone := detect.Detection{Norm: "408-555-0100", Kind: detect.KindPattern, PatternType: "phone"}
+	if o := p.Overlay(phone); o.Lines[0] != "tel:408-555-0100" {
+		t.Fatalf("phone overlay = %+v", o)
+	}
+	url := detect.Detection{Norm: "http://x.test", Kind: detect.KindPattern, PatternType: "url"}
+	if o := p.Overlay(url); o.Lines[0] != "http://x.test" {
+		t.Fatalf("url overlay = %+v", o)
+	}
+}
+
+func TestPlaceGetsMapOverlay(t *testing.T) {
+	p := &DefaultProvider{}
+	d := detect.Detection{
+		Norm: "springfield", Kind: detect.KindNamed,
+		Entry: &taxonomy.Entry{
+			Phrase: "springfield", Type: world.TypePlace, Subtype: "city",
+			Geo: &taxonomy.GeoPoint{Lat: 39.8, Lon: -89.6},
+		},
+	}
+	o := p.Overlay(d)
+	if o.Kind != "map" {
+		t.Fatalf("place overlay kind = %q", o.Kind)
+	}
+	if !strings.Contains(o.Lines[0], "39.8") {
+		t.Fatalf("map overlay missing coordinates: %+v", o)
+	}
+}
+
+func TestNamedGetsSearchResults(t *testing.T) {
+	p := &DefaultProvider{
+		Snippets:     func(string, int) []string { return []string{"result one", "result two"} },
+		ArticleWords: func(string) int { return 1200 },
+	}
+	d := detect.Detection{
+		Norm: "somebody famous", Kind: detect.KindNamed,
+		Entry: &taxonomy.Entry{Phrase: "somebody famous", Type: world.TypePerson, Subtype: "actor"},
+	}
+	o := p.Overlay(d)
+	if o.Kind != "search" || len(o.Lines) != 3 {
+		t.Fatalf("person overlay = %+v", o)
+	}
+	if !strings.Contains(o.Lines[2], "1200 words") {
+		t.Fatalf("article line missing: %+v", o)
+	}
+}
+
+func TestConceptGetsRelatedQueries(t *testing.T) {
+	p := &DefaultProvider{
+		Related: func(q string, max int) []string { return []string{q + " facts", q + " news"} },
+	}
+	d := detect.Detection{Norm: "global warming", Kind: detect.KindConcept}
+	o := p.Overlay(d)
+	if o.Kind != "related" || len(o.Lines) != 2 {
+		t.Fatalf("concept overlay = %+v", o)
+	}
+	// Fallback to search snippets when no suggestions exist.
+	p2 := &DefaultProvider{
+		Related:  func(string, int) []string { return nil },
+		Snippets: func(string, int) []string { return []string{"snippet"} },
+	}
+	if o := p2.Overlay(d); o.Kind != "search" || len(o.Lines) != 1 {
+		t.Fatalf("fallback overlay = %+v", o)
+	}
+}
+
+func TestOverlayRenderedIntoHTML(t *testing.T) {
+	text := "visit springfield now"
+	p := &DefaultProvider{}
+	r := NewRenderer(p)
+	anns := []framework.Annotation{{
+		Detection: detect.Detection{
+			Text: "springfield", Norm: "springfield", Kind: detect.KindNamed,
+			Start: 6, End: 17,
+			Entry: &taxonomy.Entry{Phrase: "springfield", Type: world.TypePlace, Geo: &taxonomy.GeoPoint{Lat: 1, Lon: 2}},
+		},
+	}}
+	out := r.Render(text, anns)
+	if !strings.Contains(out, "overlay-map") || !strings.Contains(out, "Map of springfield") {
+		t.Fatalf("overlay missing: %s", out)
+	}
+}
+
+func TestOverlayLineCap(t *testing.T) {
+	many := make([]string, 10)
+	for i := range many {
+		many[i] = "line"
+	}
+	p := &DefaultProvider{Snippets: func(string, int) []string { return many }}
+	r := NewRenderer(p)
+	r.MaxOverlayLines = 2
+	text := "hello concept world"
+	anns := []framework.Annotation{ann("concept", "concept", detect.KindConcept, 6, 1)}
+	out := r.Render(text, anns)
+	if got := strings.Count(out, "<em>"); got != 2 {
+		t.Fatalf("overlay lines = %d, want 2", got)
+	}
+}
+
+func TestRenderSourceWrapsOriginalHTML(t *testing.T) {
+	src := `<div>Email <a href="mailto:x">team@example.org</a> before the <b>deadline</b>.</div>`
+	res := textproc.StripHTMLMapped(src)
+	at := strings.Index(res.Text, "team@example.org")
+	anns := []framework.Annotation{{
+		Detection: detect.Detection{
+			Text: "team@example.org", Norm: "team@example.org",
+			Kind: detect.KindPattern, PatternType: "email",
+			Start: at, End: at + len("team@example.org"),
+		},
+	}}
+	r := NewRenderer(nil)
+	out := r.RenderSource(src, res, anns)
+	if !strings.Contains(out, `<span class="shortcut shortcut-pattern" data-concept="team@example.org"`) {
+		t.Fatalf("span missing: %s", out)
+	}
+	// The original markup survives untouched around the span.
+	if !strings.Contains(out, `<a href="mailto:x">`) || !strings.Contains(out, "<b>deadline</b>") {
+		t.Fatalf("original markup damaged: %s", out)
+	}
+}
+
+func TestRenderSourceSkipsMarkupCrossingSpans(t *testing.T) {
+	src := `<p>The <b>Iraq</b> war continued.</p>`
+	res := textproc.StripHTMLMapped(src)
+	at := strings.Index(res.Text, "Iraq war")
+	anns := []framework.Annotation{{
+		Detection: detect.Detection{
+			Text: "Iraq war", Norm: "iraq war", Kind: detect.KindConcept,
+			Start: at, End: at + len("Iraq war"),
+		},
+	}}
+	r := NewRenderer(nil)
+	out := r.RenderSource(src, res, anns)
+	// The phrase crosses </b>; wrapping must be skipped and markup preserved.
+	if strings.Contains(out, "data-concept") {
+		t.Fatalf("markup-crossing span wrapped: %s", out)
+	}
+	if out != src {
+		t.Fatalf("document altered: %s", out)
+	}
+}

@@ -1,0 +1,168 @@
+package conceptvec
+
+import (
+	"strings"
+	"testing"
+
+	"contextrank/internal/corpus"
+	"contextrank/internal/querylog"
+	"contextrank/internal/units"
+)
+
+// fixture builds a dictionary over a small corpus and a unit set where
+// "global warming" is a validated unit.
+func fixture() (*corpus.Dictionary, *units.Set) {
+	dict := corpus.NewDictionary()
+	docs := []string{
+		"global warming threatens polar climate patterns",
+		"the economy grew despite policy concerns",
+		"warming oceans alter weather and climate",
+		"the debate about policy continued in congress",
+		"sports results and scores from the weekend",
+		"polar bears depend on sea ice",
+	}
+	for _, d := range docs {
+		dict.AddDocumentText(d)
+	}
+	counts := map[string]int{
+		"global warming":         500,
+		"global warming effects": 120,
+		"global":                 200,
+		"warming":                50,
+		"climate":                90,
+		"policy":                 60,
+		"economy":                40,
+	}
+	for i := 0; i < 60; i++ {
+		counts["filler"+string(rune('a'+i%26))+string(rune('0'+i/26))] = 100
+	}
+	return dict, units.Extract(querylog.FromCounts(counts), units.Config{MinMI: 0.5})
+}
+
+func TestConceptVectorContainsUnitsAndTerms(t *testing.T) {
+	dict, us := fixture()
+	s := New(dict, us, Options{})
+	v := s.ConceptVector("Scientists say global warming is accelerating and climate policy lags.")
+	m := v.Map()
+	if _, ok := m["global warming"]; !ok {
+		t.Fatalf("merged vector missing unit phrase: %v", v)
+	}
+	if _, ok := m["climate"]; !ok {
+		t.Fatalf("merged vector missing term: %v", v)
+	}
+	if _, ok := m["the"]; ok {
+		t.Fatal("stopword in concept vector")
+	}
+}
+
+func TestMultiTermBubbleUp(t *testing.T) {
+	dict, us := fixture()
+	text := "Scientists say global warming is accelerating; warming trends and global patterns persist."
+	with := New(dict, us, Options{}).ConceptVector(text).Map()
+	without := New(dict, us, Options{DisableBubbleUp: true}).ConceptVector(text).Map()
+	if with["global warming"] <= without["global warming"] {
+		t.Fatalf("bubble-up should raise multi-term score: with=%v without=%v",
+			with["global warming"], without["global warming"])
+	}
+	// Bubble-up puts the specific multi-term concept at or near the top.
+	v := New(dict, us, Options{}).ConceptVector(text)
+	if v[0].Term != "global warming" {
+		t.Logf("top concept is %q (global warming at %.3f)", v[0].Term, with["global warming"])
+	}
+}
+
+func TestMaxWeightBound(t *testing.T) {
+	dict, us := fixture()
+	s := New(dict, us, Options{})
+	v := s.ConceptVector("global warming global warming climate warming global")
+	for _, e := range v {
+		bound := 2.0 * float64(1+strings.Count(e.Term, " ")+1)
+		// Paper: max final concept weight = 2 × number of terms (merge gives
+		// ≤2, bubble-up adds ≤2 per contained term).
+		if e.Weight > bound {
+			t.Fatalf("weight %v of %q exceeds bound %v", e.Weight, e.Term, bound)
+		}
+	}
+}
+
+func TestScoreSinglePhrase(t *testing.T) {
+	dict, us := fixture()
+	s := New(dict, us, Options{})
+	text := "The global warming debate continued."
+	if got := s.Score(text, "Global Warming"); got <= 0 {
+		t.Fatalf("Score = %v", got)
+	}
+	if got := s.Score(text, "unrelated"); got != 0 {
+		t.Fatalf("unrelated phrase score = %v", got)
+	}
+}
+
+func TestNilUnits(t *testing.T) {
+	dict, _ := fixture()
+	s := New(dict, nil, Options{})
+	v := s.ConceptVector("climate policy debate")
+	if len(v) == 0 {
+		t.Fatal("term-only vector empty")
+	}
+	for _, e := range v {
+		if strings.Contains(e.Term, " ") {
+			t.Fatal("multi-term entry without unit set")
+		}
+	}
+}
+
+func TestVectorSorted(t *testing.T) {
+	dict, us := fixture()
+	s := New(dict, us, Options{})
+	v := s.ConceptVector("global warming and climate and policy and economy debates")
+	for i := 1; i < len(v); i++ {
+		if v[i-1].Weight < v[i].Weight {
+			t.Fatal("vector not sorted")
+		}
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	dict, us := fixture()
+	s := New(dict, us, Options{})
+	if v := s.ConceptVector(""); len(v) != 0 {
+		t.Fatalf("empty doc vector = %v", v)
+	}
+	if v := s.ConceptVector("the of and"); len(v) != 0 {
+		t.Fatalf("stopword-only doc vector = %v", v)
+	}
+}
+
+func BenchmarkConceptVector(b *testing.B) {
+	dict, us := fixture()
+	s := New(dict, us, Options{})
+	text := strings.Repeat("Scientists say global warming is accelerating and climate policy lags behind economic debates. ", 25)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ConceptVector(text)
+	}
+}
+
+func TestTermOnlyPunishOption(t *testing.T) {
+	dict, us := fixture()
+	text := "polar bears depend on sea ice patterns"
+	strict := New(dict, us, Options{TermOnlyPunish: 0.1}).ConceptVector(text).Map()
+	lax := New(dict, us, Options{TermOnlyPunish: 0.99}).ConceptVector(text).Map()
+	// "polar" is a term-only entry (no unit); stricter punishment must
+	// lower its weight.
+	if strict["polar"] >= lax["polar"] {
+		t.Fatalf("TermOnlyPunish had no effect: strict=%v lax=%v", strict["polar"], lax["polar"])
+	}
+}
+
+func TestThresholdOptions(t *testing.T) {
+	dict, us := fixture()
+	text := "global warming and climate policy economy debates in congress"
+	// An aggressive removal threshold must shrink the vector.
+	loose := New(dict, us, Options{RemoveThreshold: 0.01}).ConceptVector(text)
+	tight := New(dict, us, Options{RemoveThreshold: 0.95}).ConceptVector(text)
+	if len(tight) >= len(loose) {
+		t.Fatalf("RemoveThreshold had no effect: %d vs %d entries", len(tight), len(loose))
+	}
+}

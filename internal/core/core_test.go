@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"contextrank/internal/features"
+	"contextrank/internal/newsgen"
+	"contextrank/internal/ranksvm"
+	"contextrank/internal/relevance"
+	"contextrank/internal/searchsim"
+	"contextrank/internal/world"
+)
+
+// testSystem builds a small but statistically meaningful system (shared
+// across tests in this package via sync-free lazy init under `go test`'s
+// sequential default).
+var cachedSystem *System
+
+func testSystem(t testing.TB) *System {
+	t.Helper()
+	if cachedSystem == nil {
+		cachedSystem = Build(Config{
+			Seed:   1000,
+			World:  world.Config{VocabSize: 2000, NumTopics: 10, NumConcepts: 300},
+			Corpus: searchsim.CorpusConfig{MaxDocsPerConcept: 18},
+			News:   newsgen.Config{NumStories: 250},
+		})
+	}
+	return cachedSystem
+}
+
+func TestBuildSystemShape(t *testing.T) {
+	s := testSystem(t)
+	if err := s.World.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cleaned) == 0 || len(s.Groups) == 0 {
+		t.Fatalf("no cleaned reports (%d) or groups (%d)", len(s.Cleaned), len(s.Groups))
+	}
+	if len(s.Cleaned) >= len(s.Reports) {
+		t.Fatal("cleaning removed nothing")
+	}
+	if len(s.Groups) < len(s.Cleaned) {
+		t.Fatal("windowing lost stories")
+	}
+}
+
+func TestDatasetConstruction(t *testing.T) {
+	s := testSystem(t)
+	groups := s.Dataset([]relevance.Resource{relevance.Snippets})
+	if len(groups) != len(s.Groups) {
+		t.Fatalf("dataset groups %d != window groups %d", len(groups), len(s.Groups))
+	}
+	for _, g := range groups {
+		if len(g.Examples) < 2 {
+			t.Fatal("group with < 2 examples")
+		}
+		for _, ex := range g.Examples {
+			if ex.CTR < 0 || ex.CTR > 1 {
+				t.Fatalf("CTR out of range: %v", ex.CTR)
+			}
+			if ex.RelScore == nil {
+				t.Fatal("missing relevance scores")
+			}
+			if ex.Fields.NumberOfChars == 0 {
+				t.Fatal("missing fields")
+			}
+		}
+	}
+}
+
+func TestFieldsCached(t *testing.T) {
+	s := testSystem(t)
+	name := s.World.Concepts[0].Name
+	f1 := s.Fields(name)
+	f2 := s.Fields(name)
+	if f1 != f2 {
+		t.Fatal("cache returned different values")
+	}
+}
+
+// The headline reproduction property (Tables III-V shape): random ≈ 50%,
+// baseline well below random, learned interestingness below baseline, and
+// interestingness+relevance best of all.
+func TestMethodOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSystem(t)
+	groups := s.Dataset([]relevance.Resource{relevance.Snippets})
+
+	random, err := CrossValidate(groups, &RandomMethod{Seed: 1}, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := CrossValidate(groups, &ConceptVectorMethod{Scorer: s.Baseline}, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interest, err := CrossValidate(groups, &LearnedMethod{Options: ranksvm.Options{Seed: 3}}, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := CrossValidate(groups, &LearnedMethod{
+		UseRelevance: true,
+		Resource:     relevance.Snippets,
+		Options:      ranksvm.Options{Seed: 3},
+	}, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("random:   %v", random)
+	t.Logf("baseline: %v", baseline)
+	t.Logf("interest: %v", interest)
+	t.Logf("combined: %v", combined)
+
+	if random.WeightedErrorRate < 0.45 || random.WeightedErrorRate > 0.55 {
+		t.Errorf("random weighted error = %.3f, want ~0.5", random.WeightedErrorRate)
+	}
+	if baseline.WeightedErrorRate >= random.WeightedErrorRate {
+		t.Errorf("baseline (%.3f) should beat random (%.3f)", baseline.WeightedErrorRate, random.WeightedErrorRate)
+	}
+	if interest.WeightedErrorRate >= baseline.WeightedErrorRate {
+		t.Errorf("interestingness model (%.3f) should beat baseline (%.3f)", interest.WeightedErrorRate, baseline.WeightedErrorRate)
+	}
+	if combined.WeightedErrorRate >= interest.WeightedErrorRate {
+		t.Errorf("combined (%.3f) should beat interestingness-only (%.3f)", combined.WeightedErrorRate, interest.WeightedErrorRate)
+	}
+	// NDCG trends the same way.
+	if combined.NDCG[1] <= random.NDCG[1] {
+		t.Errorf("combined ndcg@1 (%.3f) should beat random (%.3f)", combined.NDCG[1], random.NDCG[1])
+	}
+}
+
+func TestRelevanceMethodBeatsRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSystem(t)
+	groups := s.Dataset([]relevance.Resource{relevance.Snippets})
+	random, _ := CrossValidate(groups, &RandomMethod{Seed: 1}, 5, 2)
+	rel, err := CrossValidate(groups, &RelevanceMethod{Resource: relevance.Snippets}, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("relevance-only: %v", rel)
+	if rel.WeightedErrorRate >= random.WeightedErrorRate {
+		t.Errorf("relevance-only (%.3f) should beat random (%.3f)", rel.WeightedErrorRate, random.WeightedErrorRate)
+	}
+}
+
+func TestAblationChangesDim(t *testing.T) {
+	s := testSystem(t)
+	groups := s.Dataset(nil)
+	m := &LearnedMethod{FeatureGroups: features.Without(features.GroupQueryLogs), Options: ranksvm.Options{Seed: 5, MaxIter: 20}}
+	// Fit on a small slice just to exercise the path.
+	if err := m.Fit(groups[:10]); err != nil {
+		t.Fatal(err)
+	}
+	scores := m.Score(&groups[0])
+	if len(scores) != len(groups[0].Examples) {
+		t.Fatal("score length mismatch")
+	}
+}
+
+func TestRandomMethodDeterministic(t *testing.T) {
+	s := testSystem(t)
+	groups := s.Dataset(nil)
+	r1, _ := CrossValidate(groups[:20], &RandomMethod{Seed: 9}, 5, 1)
+	r2, _ := CrossValidate(groups[:20], &RandomMethod{Seed: 9}, 5, 1)
+	if r1.WeightedErrorRate != r2.WeightedErrorRate {
+		t.Fatal("random method not deterministic under fixed seed")
+	}
+}
+
+func TestAllCTRs(t *testing.T) {
+	s := testSystem(t)
+	groups := s.Dataset(nil)
+	ctrs := AllCTRs(groups)
+	n := 0
+	for _, g := range groups {
+		n += len(g.Examples)
+	}
+	if len(ctrs) != n {
+		t.Fatalf("AllCTRs = %d, want %d", len(ctrs), n)
+	}
+}

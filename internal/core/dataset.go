@@ -1,0 +1,119 @@
+package core
+
+import (
+	"contextrank/internal/features"
+	"contextrank/internal/relevance"
+	"contextrank/internal/world"
+)
+
+// Example is one annotated entity in one window: the ranking unit. The
+// label is the observed CTR; features come from the offline stores.
+type Example struct {
+	// Concept is the annotated concept.
+	Concept *world.Concept
+	// CTR is the observed click-through rate (clicks / window views).
+	CTR float64
+	// Clicks and Views are the raw counts behind CTR.
+	Clicks, Views int
+	// Position is the byte offset within the window.
+	Position int
+	// Relevant is the hidden ground-truth relevance (never exposed to
+	// rankers; used by the editorial simulator).
+	Relevant bool
+	// Degree is the hidden graded relevance in [0,1].
+	Degree float64
+	// Fields is the interestingness feature record.
+	Fields features.Fields
+	// Extended carries the paper's eliminated candidate features, used only
+	// by the feature-selection experiment.
+	Extended features.ExtendedFields
+	// RelScore holds the context relevance score per mining resource.
+	RelScore map[relevance.Resource]float64
+	// RelNorm holds the coverage-normalized relevance score per resource.
+	RelNorm map[relevance.Resource]float64
+}
+
+// Group is one ranking problem: the entities of one window plus the window
+// text (needed by the concept-vector baseline).
+type Group struct {
+	// ID is a dense group identifier.
+	ID int
+	// StoryID and WindowIndex locate the group.
+	StoryID, WindowIndex int
+	// Text is the window content.
+	Text string
+	// Views is the window's (story's) view count.
+	Views int
+	// Examples are the entities to rank.
+	Examples []Example
+}
+
+// CTRs returns the observed CTR labels of the group's examples.
+func (g *Group) CTRs() []float64 {
+	out := make([]float64, len(g.Examples))
+	for i := range g.Examples {
+		out[i] = g.Examples[i].CTR
+	}
+	return out
+}
+
+// Dataset materializes the ranking dataset from the system's window groups,
+// attaching interestingness features and the relevance scores for the given
+// resources (pass nil for interestingness-only experiments). This is the
+// offline feature join the paper performs before training.
+func (s *System) Dataset(resources []relevance.Resource) []Group {
+	stores := make(map[relevance.Resource]*relevance.Store, len(resources))
+	for _, r := range resources {
+		stores[r] = s.RelevanceStore(r)
+	}
+	groups := make([]Group, 0, len(s.Groups))
+	for gi, wg := range s.Groups {
+		g := Group{
+			ID:          gi,
+			StoryID:     wg.StoryID,
+			WindowIndex: wg.WindowIndex,
+			Text:        wg.Text,
+			Views:       wg.Views,
+		}
+		for _, e := range wg.Entities {
+			ex := Example{
+				Concept:  e.Concept,
+				CTR:      e.CTR(wg.Views),
+				Clicks:   e.Clicks,
+				Views:    wg.Views,
+				Position: e.Position,
+				Relevant: e.Relevant,
+				Degree:   e.Degree,
+				Fields:   s.Fields(e.Concept.Name),
+				Extended: s.ExtendedFields(e.Concept.Name),
+			}
+			if len(stores) > 0 {
+				// Relevance is scored against the mention's surrounding
+				// context ("co-occurrences of the pre-mined keywords and
+				// the given concept in the context"), not the whole window.
+				stems := relevance.ContextStemsAround(wg.Text, e.Position, 0)
+				ex.RelScore = make(map[relevance.Resource]float64, len(stores))
+				ex.RelNorm = make(map[relevance.Resource]float64, len(stores))
+				for r, st := range stores {
+					ex.RelScore[r] = st.Score(e.Concept.Name, stems)
+					ex.RelNorm[r] = st.NormalizedScore(e.Concept.Name, stems)
+				}
+			}
+			g.Examples = append(g.Examples, ex)
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// AllCTRs collects every CTR label across groups (for the NDCG bucketizer,
+// which the paper builds from "all the CTR values observed in the system").
+func AllCTRs(groups []Group) []float64 {
+	var out []float64
+	for i := range groups {
+		for j := range groups[i].Examples {
+			out = append(out, groups[i].Examples[j].CTR)
+		}
+	}
+	return out
+}

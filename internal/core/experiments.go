@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"contextrank/internal/clicksim"
+	"contextrank/internal/editorial"
+	"contextrank/internal/features"
+	"contextrank/internal/newsgen"
+	"contextrank/internal/ranksvm"
+	"contextrank/internal/relevance"
+	"contextrank/internal/world"
+)
+
+// This file drives the paper's experiments (§V). Each TableN/FigureN
+// function regenerates the corresponding result; cmd/experiments and
+// bench_test.go print them side by side with the paper's numbers.
+
+// Table2Row is one line of Table II: a concept and the summation of its
+// top-100 relevant-keyword scores.
+type Table2Row struct {
+	Concept   string
+	Summation float64
+}
+
+// Table2 reproduces Table II: the concepts with the largest and smallest
+// keyword summations, which separate specific concepts from low-quality
+// phrases. Returns the top and bottom k rows over all concepts (excluding
+// concepts with no keywords at all).
+func (s *System) Table2(k int) (top, bottom []Table2Row) {
+	store := s.RelevanceStore(relevance.Snippets)
+	rows := make([]Table2Row, 0, len(s.World.Concepts))
+	for i := range s.World.Concepts {
+		name := s.World.Concepts[i].Name
+		rows = append(rows, Table2Row{Concept: name, Summation: store.Summation(name)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Summation != rows[j].Summation {
+			return rows[i].Summation > rows[j].Summation
+		}
+		return rows[i].Concept < rows[j].Concept
+	})
+	if k > len(rows) {
+		k = len(rows)
+	}
+	top = rows[:k]
+	bottom = rows[len(rows)-k:]
+	return top, bottom
+}
+
+// Table3 holds the weighted error rates of Table III: the baselines, the
+// full interestingness model, and the leave-one-group-out ablations.
+type Table3 struct {
+	Random        Result
+	ConceptVector Result
+	AllFeatures   Result
+	Ablations     map[features.Group]Result
+}
+
+// Table3 reproduces Table III (and Figure 1, via the NDCG fields of the
+// results): 5-fold CV of the ranking SVM over interestingness features.
+func (s *System) Table3(folds int, seed int64) (Table3, error) {
+	groups := s.Dataset(nil)
+	var out Table3
+	var err error
+	if out.Random, err = CrossValidate(groups, &RandomMethod{Seed: seed}, folds, seed); err != nil {
+		return out, err
+	}
+	if out.ConceptVector, err = CrossValidate(groups, &ConceptVectorMethod{Scorer: s.Baseline}, folds, seed); err != nil {
+		return out, err
+	}
+	if out.AllFeatures, err = CrossValidate(groups, &LearnedMethod{Options: ranksvm.Options{Seed: seed}}, folds, seed); err != nil {
+		return out, err
+	}
+	out.Ablations = make(map[features.Group]Result, features.NumGroups)
+	for g := features.Group(0); g < features.NumGroups; g++ {
+		m := &LearnedMethod{
+			Label:         fmt.Sprintf("All Features - %s", g),
+			FeatureGroups: features.Without(g),
+			Options:       ranksvm.Options{Seed: seed},
+		}
+		r, err := CrossValidate(groups, m, folds, seed)
+		if err != nil {
+			return out, err
+		}
+		out.Ablations[g] = r
+	}
+	return out, nil
+}
+
+// Table4 holds the relevance-score-only results of Table IV (and Figure 2).
+type Table4 struct {
+	Random        Result
+	ConceptVector Result
+	ByResource    map[relevance.Resource]Result
+}
+
+// Table4 reproduces Table IV: ranking purely by the pre-mined relevance
+// score, one run per mining resource; no model is trained.
+func (s *System) Table4(folds int, seed int64) (Table4, error) {
+	resources := []relevance.Resource{relevance.Snippets, relevance.Prisma, relevance.Suggestions}
+	groups := s.Dataset(resources)
+	var out Table4
+	var err error
+	if out.Random, err = CrossValidate(groups, &RandomMethod{Seed: seed}, folds, seed); err != nil {
+		return out, err
+	}
+	if out.ConceptVector, err = CrossValidate(groups, &ConceptVectorMethod{Scorer: s.Baseline}, folds, seed); err != nil {
+		return out, err
+	}
+	out.ByResource = make(map[relevance.Resource]Result, len(resources))
+	for _, r := range resources {
+		res, err := CrossValidate(groups, &RelevanceMethod{Resource: r}, folds, seed)
+		if err != nil {
+			return out, err
+		}
+		out.ByResource[r] = res
+	}
+	return out, nil
+}
+
+// Table5 holds the combined-model results of Table V (and Figure 3).
+type Table5 struct {
+	Random           Result
+	ConceptVector    Result
+	BestInterest     Result
+	BestRelevance    Result
+	Combined         Result
+	CombinedRBF      Result // kernel ablation (§V-A.3 tests both kernels)
+	CombinedNoTiebrk Result // design-choice ablation
+}
+
+// Table5 reproduces Table V: all interestingness features plus the
+// snippet-based relevance score, with relevance tie-breaking.
+func (s *System) Table5(folds int, seed int64) (Table5, error) {
+	groups := s.Dataset([]relevance.Resource{relevance.Snippets})
+	var out Table5
+	var err error
+	if out.Random, err = CrossValidate(groups, &RandomMethod{Seed: seed}, folds, seed); err != nil {
+		return out, err
+	}
+	if out.ConceptVector, err = CrossValidate(groups, &ConceptVectorMethod{Scorer: s.Baseline}, folds, seed); err != nil {
+		return out, err
+	}
+	if out.BestInterest, err = CrossValidate(groups, &LearnedMethod{Options: ranksvm.Options{Seed: seed}}, folds, seed); err != nil {
+		return out, err
+	}
+	if out.BestRelevance, err = CrossValidate(groups, &RelevanceMethod{Resource: relevance.Snippets}, folds, seed); err != nil {
+		return out, err
+	}
+	if out.Combined, err = CrossValidate(groups, &LearnedMethod{
+		UseRelevance: true, Resource: relevance.Snippets,
+		Options: ranksvm.Options{Seed: seed},
+	}, folds, seed); err != nil {
+		return out, err
+	}
+	if out.CombinedRBF, err = CrossValidate(groups, &LearnedMethod{
+		Label: "Interestingness + Relevance (RBF)", UseRelevance: true, Resource: relevance.Snippets,
+		Options: ranksvm.Options{Seed: seed, Kernel: ranksvm.RBF, MaxPairsPerGroup: 10},
+	}, folds, seed); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// EditorialConfig parameterizes the Table VI study.
+type EditorialConfig struct {
+	Seed        int64
+	NewsDocs    int // default 400, top-3 judged
+	AnswersDocs int // default 800, top-2 judged
+	Folds       int // training folds for the ranking model (default: train on all click data)
+}
+
+// Table6 holds the editorial study outcome per content type and method.
+type Table6 struct {
+	// NewsCV / NewsRanked: concept-vector vs. learned ranking on news.
+	NewsCV, NewsRanked editorial.Tally
+	// AnswersCV / AnswersRanked: same on answers snippets.
+	AnswersCV, AnswersRanked editorial.Tally
+	// InterestKappa and RelevanceKappa are the panel's mean pairwise
+	// Cohen's-kappa agreement, the sanity check any multi-judge study
+	// reports before pooling ratings.
+	InterestKappa, RelevanceKappa float64
+}
+
+// Table6 reproduces the §V-B editorial study: fresh documents (400 news
+// stories + 800 answers snippets), top-3/top-2 entities identified with the
+// learned ranking and with the concept-vector score, each judged for
+// interestingness and relevance.
+func (s *System) Table6(cfg EditorialConfig) (Table6, error) {
+	if cfg.NewsDocs == 0 {
+		cfg.NewsDocs = 400
+	}
+	if cfg.AnswersDocs == 0 {
+		cfg.AnswersDocs = 800
+	}
+
+	// Train the full model on the click data.
+	learned := &LearnedMethod{UseRelevance: true, Resource: relevance.Snippets, Options: ranksvm.Options{Seed: cfg.Seed}}
+	trainGroups := s.Dataset([]relevance.Resource{relevance.Snippets})
+	if err := learned.Fit(trainGroups); err != nil {
+		return Table6{}, err
+	}
+	baseline := &ConceptVectorMethod{Scorer: s.Baseline}
+
+	// "A team of expert judges": a three-judge panel pooled by majority.
+	panel := editorial.NewPanel(3, cfg.Seed+100)
+
+	news := newsgen.Generate(s.World, newsgen.Config{
+		Seed: cfg.Seed + 101, NumStories: cfg.NewsDocs,
+	})
+	answers := newsgen.Generate(s.World, newsgen.Config{
+		Seed: cfg.Seed + 102, NumStories: cfg.AnswersDocs,
+		MinConcepts: 3, MaxConcepts: 5, MinSentences: 3, MaxSentences: 8,
+	})
+
+	var out Table6
+	out.NewsRanked = s.judgeTopK(news, learned, 3, panel)
+	out.NewsCV = s.judgeTopK(news, baseline, 3, panel)
+	out.AnswersRanked = s.judgeTopK(answers, learned, 2, panel)
+	out.AnswersCV = s.judgeTopK(answers, baseline, 2, panel)
+
+	// Inter-judge agreement over a shared sample of mentions.
+	var concepts []*world.Concept
+	var degrees []float64
+	for i := range news {
+		for _, m := range news[i].Mentions {
+			concepts = append(concepts, m.Concept)
+			degrees = append(degrees, m.Degree)
+		}
+		if len(concepts) >= 300 {
+			break
+		}
+	}
+	agreementPanel := editorial.NewPanel(3, cfg.Seed+200)
+	out.InterestKappa, out.RelevanceKappa = editorial.PanelKappa(agreementPanel, concepts, degrees)
+	return out, nil
+}
+
+// GroupFromStory builds an unlabeled ranking group from any document, so
+// trained methods can rank entities outside the click corpus.
+func (s *System) GroupFromStory(story *newsgen.Story, resources []relevance.Resource) Group {
+	g := Group{StoryID: story.ID, Text: story.Text}
+	for _, m := range story.Mentions {
+		ex := Example{
+			Concept:  m.Concept,
+			Position: m.Position,
+			Relevant: m.Relevant,
+			Degree:   m.Degree,
+			Fields:   s.Fields(m.Concept.Name),
+		}
+		if len(resources) > 0 {
+			stems := relevance.ContextStemsAround(story.Text, m.Position, 0)
+			ex.RelScore = make(map[relevance.Resource]float64, len(resources))
+			ex.RelNorm = make(map[relevance.Resource]float64, len(resources))
+			for _, r := range resources {
+				ex.RelScore[r] = s.RelevanceStore(r).Score(m.Concept.Name, stems)
+				ex.RelNorm[r] = s.RelevanceStore(r).NormalizedScore(m.Concept.Name, stems)
+			}
+		}
+		g.Examples = append(g.Examples, ex)
+	}
+	return g
+}
+
+// judgeTopK ranks each story's entities with the method and has the panel
+// rate the top k (majority-pooled).
+func (s *System) judgeTopK(stories []newsgen.Story, m Method, k int, panel *editorial.Panel) editorial.Tally {
+	var tally editorial.Tally
+	for i := range stories {
+		g := s.GroupFromStory(&stories[i], []relevance.Resource{relevance.Snippets})
+		scores := m.Score(&g)
+		order := argsortDesc(scores)
+		for j := 0; j < k && j < len(order); j++ {
+			ex := &g.Examples[order[j]]
+			tally.Add(panel.MajorityRate(ex.Concept, ex.Degree))
+		}
+	}
+	return tally
+}
+
+func argsortDesc(v []float64) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+	return idx
+}
+
+// Production holds the §V-C real-world experiment outcome: annotating fewer,
+// better-ranked entities should slash views while barely moving clicks.
+type Production struct {
+	BaselineViews, BaselineClicks int
+	RankedViews, RankedClicks     int
+}
+
+// ViewsChangePct returns the percent change in weekly annotation views.
+func (p Production) ViewsChangePct() float64 {
+	return 100 * (float64(p.RankedViews) - float64(p.BaselineViews)) / float64(p.BaselineViews)
+}
+
+// ClicksChangePct returns the percent change in weekly clicks.
+func (p Production) ClicksChangePct() float64 {
+	return 100 * (float64(p.RankedClicks) - float64(p.BaselineClicks)) / float64(p.BaselineClicks)
+}
+
+// CTRChangePct returns the percent change in CTR.
+func (p Production) CTRChangePct() float64 {
+	base := float64(p.BaselineClicks) / float64(p.BaselineViews)
+	ranked := float64(p.RankedClicks) / float64(p.RankedViews)
+	return 100 * (ranked - base) / base
+}
+
+// ProductionExperiment reproduces §V-C: the baseline period annotates every
+// detected entity; the treatment period annotates only the top-N ranked by
+// the learned model. Fresh traffic is simulated for both periods with the
+// same stories and view counts; clicks are drawn from the latent CTR model.
+func (s *System) ProductionExperiment(topN int, numStories int, seed int64) (Production, error) {
+	if topN == 0 {
+		topN = 3
+	}
+	if numStories == 0 {
+		numStories = 300
+	}
+	learned := &LearnedMethod{UseRelevance: true, Resource: relevance.Snippets, Options: ranksvm.Options{Seed: seed}}
+	if err := learned.Fit(s.Dataset([]relevance.Resource{relevance.Snippets})); err != nil {
+		return Production{}, err
+	}
+
+	stories := newsgen.Generate(s.World, newsgen.Config{Seed: seed + 1, NumStories: numStories})
+	rng := rand.New(rand.NewSource(seed + 2))
+	clickCfg := s.Config.Click
+
+	var p Production
+	for i := range stories {
+		story := &stories[i]
+		views := 30 + rng.Intn(2000)
+		g := s.GroupFromStory(story, []relevance.Resource{relevance.Snippets})
+
+		// Baseline period: every entity annotated.
+		for _, m := range story.Mentions {
+			ctr := clickCfg.TrueCTR(m.Concept, m.Degree, m.Position)
+			p.BaselineViews += views
+			p.BaselineClicks += sampleBinomial(rng, views, ctr)
+		}
+		// Treatment period: only the model's top-N annotated.
+		scores := learned.Score(&g)
+		order := argsortDesc(scores)
+		for j := 0; j < topN && j < len(order); j++ {
+			m := story.Mentions[order[j]]
+			ctr := clickCfg.TrueCTR(m.Concept, m.Degree, m.Position)
+			p.RankedViews += views
+			p.RankedClicks += sampleBinomial(rng, views, ctr)
+		}
+	}
+	return p, nil
+}
+
+func sampleBinomial(rng *rand.Rand, n int, pr float64) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < pr {
+			k++
+		}
+	}
+	return k
+}
+
+// DataStats reproduces the §V-A.1 data description: stories, concepts,
+// clicks after cleaning, and window count.
+type DataStats struct {
+	RawStories   int
+	CleanStories int
+	Concepts     int
+	Clicks       int
+	Windows      int
+}
+
+// DataStats summarizes the system's click corpus.
+func (s *System) DataStats() DataStats {
+	sum := clicksim.Summarize(s.Cleaned)
+	return DataStats{
+		RawStories:   len(s.Reports),
+		CleanStories: sum.Stories,
+		Concepts:     sum.Concepts,
+		Clicks:       sum.Clicks,
+		Windows:      len(s.Groups),
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"testing"
+
+	"contextrank/internal/features"
+	"contextrank/internal/ranksvm"
+	"contextrank/internal/relevance"
+)
+
+func TestTable2Shape(t *testing.T) {
+	s := testSystem(t)
+	top, bottom := s.Table2(3)
+	if len(top) != 3 || len(bottom) != 3 {
+		t.Fatalf("Table2 sizes: %d/%d", len(top), len(bottom))
+	}
+	if top[0].Summation < bottom[len(bottom)-1].Summation {
+		t.Fatal("top summation below bottom")
+	}
+	// The paper's qualitative claim: low-quality phrases cluster at the
+	// bottom of the summation ranking. Check the average rank position.
+	store := s.RelevanceStore(relevance.Snippets)
+	var lowqSum, lowqN, otherSum, otherN float64
+	for i := range s.World.Concepts {
+		c := &s.World.Concepts[i]
+		sum := store.Summation(c.Name)
+		if c.LowQuality() {
+			lowqSum += sum
+			lowqN++
+		} else if c.Specificity > 0.7 && c.Quality > 0.6 {
+			otherSum += sum
+			otherN++
+		}
+	}
+	if lowqN > 0 && otherN > 0 && otherSum/otherN <= lowqSum/lowqN {
+		t.Fatalf("specific concepts (%.0f) should out-sum low-quality (%.0f)",
+			otherSum/otherN, lowqSum/lowqN)
+	}
+}
+
+func TestTable3AblationsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSystem(t)
+	t3, err := s.Table3(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Ablations) != int(features.NumGroups) {
+		t.Fatalf("ablations = %d, want %d", len(t3.Ablations), features.NumGroups)
+	}
+	// Removing the query-log group must hurt the most (the paper's largest
+	// single-group effect, Table III).
+	base := t3.AllFeatures.WeightedErrorRate
+	worst := features.Group(0)
+	for g, r := range t3.Ablations {
+		if r.WeightedErrorRate > t3.Ablations[worst].WeightedErrorRate {
+			worst = g
+		}
+	}
+	if worst != features.GroupQueryLogs {
+		t.Logf("warning: worst ablation was %v, paper's was Query Logs", worst)
+	}
+	if t3.Ablations[features.GroupQueryLogs].WeightedErrorRate <= base {
+		t.Errorf("removing query logs should hurt: %.3f vs full %.3f",
+			t3.Ablations[features.GroupQueryLogs].WeightedErrorRate, base)
+	}
+}
+
+func TestTable4AllResourcesBeatRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSystem(t)
+	t4, err := s.Table4(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, res := range t4.ByResource {
+		if res.WeightedErrorRate >= t4.Random.WeightedErrorRate {
+			t.Errorf("%v (%.3f) does not beat random (%.3f)", r, res.WeightedErrorRate, t4.Random.WeightedErrorRate)
+		}
+	}
+}
+
+func TestTable5CombinedBest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSystem(t)
+	t5, err := s.Table5(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t5.Combined.WeightedErrorRate >= t5.ConceptVector.WeightedErrorRate {
+		t.Errorf("combined (%.3f) must beat baseline (%.3f)",
+			t5.Combined.WeightedErrorRate, t5.ConceptVector.WeightedErrorRate)
+	}
+	if t5.Combined.WeightedErrorRate >= t5.BestInterest.WeightedErrorRate {
+		t.Errorf("combined (%.3f) must beat interestingness-only (%.3f)",
+			t5.Combined.WeightedErrorRate, t5.BestInterest.WeightedErrorRate)
+	}
+	if t5.CombinedRBF.WeightedErrorRate >= t5.Random.WeightedErrorRate {
+		t.Errorf("RBF kernel model failed to learn: %.3f", t5.CombinedRBF.WeightedErrorRate)
+	}
+}
+
+func TestTable6RankedBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSystem(t)
+	t6, err := s.Table6(EditorialConfig{Seed: 7, NewsDocs: 80, AnswersDocs: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Table VI claims: the ranking algorithm raises
+	// Very-Interesting and Very-Relevant shares and lowers the bad share on
+	// both content types.
+	if t6.NewsRanked.InterestPct(0) <= t6.NewsCV.InterestPct(0) {
+		t.Errorf("news very-interesting: ranked %.1f <= baseline %.1f",
+			t6.NewsRanked.InterestPct(0), t6.NewsCV.InterestPct(0))
+	}
+	if t6.AnswersRanked.InterestPct(0) <= t6.AnswersCV.InterestPct(0) {
+		t.Errorf("answers very-interesting: ranked %.1f <= baseline %.1f",
+			t6.AnswersRanked.InterestPct(0), t6.AnswersCV.InterestPct(0))
+	}
+	badCV := (t6.NewsCV.BadPct() + t6.AnswersCV.BadPct()) / 2
+	badRanked := (t6.NewsRanked.BadPct() + t6.AnswersRanked.BadPct()) / 2
+	if badRanked >= badCV {
+		t.Errorf("bad-term share: ranked %.1f%% >= baseline %.1f%%", badRanked, badCV)
+	}
+}
+
+func TestProductionExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSystem(t)
+	p, err := s.ProductionExperiment(3, 150, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BaselineViews == 0 || p.BaselineClicks == 0 {
+		t.Fatalf("baseline period empty: %+v", p)
+	}
+	// §V-C shape: views drop sharply, clicks drop far less, CTR rises.
+	if p.ViewsChangePct() > -30 {
+		t.Errorf("views change %.1f%%, expected a large drop", p.ViewsChangePct())
+	}
+	if p.ClicksChangePct() <= p.ViewsChangePct() {
+		t.Errorf("clicks (%.1f%%) should drop less than views (%.1f%%)",
+			p.ClicksChangePct(), p.ViewsChangePct())
+	}
+	if p.CTRChangePct() <= 0 {
+		t.Errorf("CTR change %.1f%%, expected improvement", p.CTRChangePct())
+	}
+}
+
+func TestGroupFromStory(t *testing.T) {
+	s := testSystem(t)
+	story := &s.Stories[0]
+	g := s.GroupFromStory(story, []relevance.Resource{relevance.Snippets})
+	if len(g.Examples) != len(story.Mentions) {
+		t.Fatalf("examples %d != mentions %d", len(g.Examples), len(story.Mentions))
+	}
+	for _, ex := range g.Examples {
+		if ex.RelScore == nil || ex.RelNorm == nil {
+			t.Fatal("relevance scores missing")
+		}
+		if ex.RelNorm[relevance.Snippets] < 0 || ex.RelNorm[relevance.Snippets] > 1 {
+			t.Fatalf("normalized relevance out of [0,1]: %v", ex.RelNorm[relevance.Snippets])
+		}
+	}
+}
+
+func TestDataStats(t *testing.T) {
+	s := testSystem(t)
+	st := s.DataStats()
+	if st.CleanStories == 0 || st.CleanStories > st.RawStories {
+		t.Fatalf("story counts: %+v", st)
+	}
+	if st.Windows < st.CleanStories {
+		t.Fatalf("windows %d < stories %d", st.Windows, st.CleanStories)
+	}
+	if st.Concepts == 0 || st.Clicks == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCompareMethodsSignificance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := testSystem(t)
+	groups := s.Dataset([]relevance.Resource{relevance.Snippets})
+	// A real difference: learned combined model vs random ordering.
+	sig, err := CompareMethods(groups,
+		&LearnedMethod{UseRelevance: true, Resource: relevance.Snippets, Options: ranksvm.Options{Seed: 3}},
+		&RandomMethod{Seed: 3},
+		3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.DeltaObserved >= 0 {
+		t.Fatalf("learned model should have lower error than random: %+v", sig)
+	}
+	if !sig.Significant() {
+		t.Fatalf("huge difference not significant: %+v", sig)
+	}
+	// A null difference: the same method against itself.
+	null, err := CompareMethods(groups,
+		&RandomMethod{Seed: 5}, &RandomMethod{Seed: 5}, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if null.DeltaObserved != 0 {
+		t.Fatalf("identical methods differ: %+v", null)
+	}
+	if null.Significant() {
+		t.Fatalf("null difference reported significant: %+v", null)
+	}
+}

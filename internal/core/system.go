@@ -1,0 +1,154 @@
+// Package core assembles the full Contextual Shortcuts reproduction: it
+// builds the synthetic world and every mined resource on top of it, turns
+// the simulated click reports into labeled ranking datasets, implements the
+// ranking methods the paper compares (random, concept-vector baseline,
+// relevance-only, learned interestingness, learned combined), and drives the
+// cross-validated evaluation that regenerates the paper's tables and
+// figures.
+package core
+
+import (
+	"contextrank/internal/clicksim"
+	"contextrank/internal/conceptvec"
+	"contextrank/internal/detect"
+	"contextrank/internal/features"
+	"contextrank/internal/newsgen"
+	"contextrank/internal/querylog"
+	"contextrank/internal/relevance"
+	"contextrank/internal/searchsim"
+	"contextrank/internal/taxonomy"
+	"contextrank/internal/units"
+	"contextrank/internal/wiki"
+	"contextrank/internal/world"
+)
+
+// Config parameterizes a full system build. The zero value produces a
+// laptop-scale world with the paper's approximate data volume. Sub-config
+// seeds left at zero are derived from Seed.
+type Config struct {
+	Seed     int64
+	World    world.Config
+	QueryLog querylog.Config
+	Units    units.Config
+	Corpus   searchsim.CorpusConfig
+	Wiki     wiki.Config
+	News     newsgen.Config
+	Click    clicksim.Config
+}
+
+func (c Config) withDerivedSeeds() Config {
+	if c.World.Seed == 0 {
+		c.World.Seed = c.Seed + 1
+	}
+	if c.QueryLog.Seed == 0 {
+		c.QueryLog.Seed = c.Seed + 2
+	}
+	if c.Corpus.Seed == 0 {
+		c.Corpus.Seed = c.Seed + 3
+	}
+	if c.Wiki.Seed == 0 {
+		c.Wiki.Seed = c.Seed + 4
+	}
+	if c.News.Seed == 0 {
+		c.News.Seed = c.Seed + 5
+	}
+	if c.Click.Seed == 0 {
+		c.Click.Seed = c.Seed + 6
+	}
+	// Normalize the click model so code that evaluates TrueCTR directly
+	// (the production experiment) sees the same parameters the simulation
+	// used.
+	c.Click = c.Click.WithDefaults()
+	return c
+}
+
+// System is the fully-built reproduction: all substrates plus the simulated
+// click traffic.
+type System struct {
+	Config Config
+
+	World     *world.World
+	Log       *querylog.Log
+	Units     *units.Set
+	Engine    *searchsim.Engine
+	Wiki      *wiki.Encyclopedia
+	Dict      *taxonomy.Dictionary
+	Extractor *features.Extractor
+	Miner     *relevance.Miner
+	Baseline  *conceptvec.Scorer
+	Pipeline  *detect.Pipeline
+
+	Stories []newsgen.Story
+	Reports []clicksim.Report // raw, before cleaning
+	Cleaned []clicksim.Report
+	Groups  []clicksim.WindowGroup
+
+	fieldsCache   map[string]features.Fields
+	extendedCache map[string]features.ExtendedFields
+	relStores     map[relevance.Resource]*relevance.Store
+}
+
+// Build generates the world and every resource, mirroring the paper's
+// offline pipeline: query log → units → web corpus/index → Wikipedia →
+// dictionaries → news stories → click sampling → cleaning → windowing.
+func Build(cfg Config) *System {
+	cfg = cfg.withDerivedSeeds()
+	s := &System{Config: cfg}
+	s.World = world.New(cfg.World)
+	s.Log = querylog.Generate(s.World, cfg.QueryLog)
+	s.Units = units.Extract(s.Log, cfg.Units)
+	s.Engine = searchsim.BuildCorpus(s.World, cfg.Corpus)
+	s.Wiki = wiki.Build(s.World, cfg.Wiki)
+	s.Dict = taxonomy.Build(s.World, cfg.Seed+7)
+	s.Extractor = features.NewExtractor(s.Log, s.Units, s.Engine, s.Wiki, s.Dict)
+	s.Miner = relevance.NewMiner(s.Engine, searchsim.NewPrisma(s.Engine), searchsim.NewSuggestor(s.Log))
+	s.Baseline = conceptvec.New(s.Engine.Dictionary(), s.Units, conceptvec.Options{})
+	s.Pipeline = detect.New(s.Dict, s.Units)
+
+	s.Stories = newsgen.Generate(s.World, cfg.News)
+	s.Reports = clicksim.Simulate(s.Stories, cfg.Click)
+	s.Cleaned = clicksim.Clean(s.Reports)
+	s.Groups = clicksim.Windows(s.Cleaned, 0, 0) // paper defaults 2500/500
+
+	s.fieldsCache = make(map[string]features.Fields)
+	s.extendedCache = make(map[string]features.ExtendedFields)
+	s.relStores = make(map[relevance.Resource]*relevance.Store)
+	return s
+}
+
+// Fields returns the (cached) interestingness feature record for a concept.
+func (s *System) Fields(concept string) features.Fields {
+	if f, ok := s.fieldsCache[concept]; ok {
+		return f
+	}
+	f := s.Extractor.Fields(concept)
+	s.fieldsCache[concept] = f
+	return f
+}
+
+// ExtendedFields returns the (cached) eliminated candidate features for a
+// concept (see features.ExtendedFields).
+func (s *System) ExtendedFields(concept string) features.ExtendedFields {
+	if x, ok := s.extendedCache[concept]; ok {
+		return x
+	}
+	x := s.Extractor.Extended(concept)
+	s.extendedCache[concept] = x
+	return x
+}
+
+// RelevanceStore returns the (lazily-built) relevant-keyword store for a
+// resource, mined over every concept that appears in the click data plus
+// every world concept (so unseen test concepts are covered too).
+func (s *System) RelevanceStore(r relevance.Resource) *relevance.Store {
+	if st, ok := s.relStores[r]; ok {
+		return st
+	}
+	names := make([]string, len(s.World.Concepts))
+	for i := range s.World.Concepts {
+		names[i] = s.World.Concepts[i].Name
+	}
+	st := relevance.BuildStore(s.Miner, names, r)
+	s.relStores[r] = st
+	return st
+}

@@ -1,0 +1,204 @@
+// Package corpus provides document-corpus statistics: the term dictionary
+// with term-document frequencies and tf·idf weighting (Salton & Buckley,
+// paper reference [6]) used by the concept-vector generator and the
+// relevant-keyword miners.
+package corpus
+
+import (
+	"math"
+	"sort"
+
+	"contextrank/internal/textproc"
+)
+
+// Dictionary holds term→document-frequency counts over a corpus. It stands
+// in for the paper's "term dictionary which contains the term-document
+// frequencies (i.e. the number of documents of a large web corpus containing
+// the dictionary term)".
+type Dictionary struct {
+	docFreq map[string]int
+	numDocs int
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{docFreq: make(map[string]int)}
+}
+
+// AddDocument updates document frequencies with the distinct terms of one
+// document. Terms are expected to be normalized already.
+func (d *Dictionary) AddDocument(terms []string) {
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if t == "" || seen[t] {
+			continue
+		}
+		seen[t] = true
+		d.docFreq[t]++
+	}
+	d.numDocs++
+}
+
+// AddDocumentText tokenizes text and updates document frequencies.
+func (d *Dictionary) AddDocumentText(text string) {
+	d.AddDocument(textproc.Words(text))
+}
+
+// NumDocs returns the number of documents the dictionary has seen.
+func (d *Dictionary) NumDocs() int { return d.numDocs }
+
+// DocFreq returns the number of documents containing term.
+func (d *Dictionary) DocFreq(term string) int { return d.docFreq[term] }
+
+// NumTerms returns the number of distinct terms in the dictionary.
+func (d *Dictionary) NumTerms() int { return len(d.docFreq) }
+
+// IDF returns the smoothed inverse document frequency of term:
+// ln((N+1)/(df+1)) + 1, which is strictly positive and defined for unseen
+// terms.
+func (d *Dictionary) IDF(term string) float64 {
+	df := d.docFreq[term]
+	return math.Log(float64(d.numDocs+1)/float64(df+1)) + 1
+}
+
+// Entry is a term with a weight, the unit of all vectors in this package.
+type Entry struct {
+	Term   string
+	Weight float64
+}
+
+// Vector is a sparse term-weight vector sorted by decreasing weight (ties
+// broken lexicographically for determinism).
+type Vector []Entry
+
+// Get returns the weight of term in v, or 0.
+func (v Vector) Get(term string) float64 {
+	for _, e := range v {
+		if e.Term == term {
+			return e.Weight
+		}
+	}
+	return 0
+}
+
+// Map converts v to a map for random access.
+func (v Vector) Map() map[string]float64 {
+	m := make(map[string]float64, len(v))
+	for _, e := range v {
+		m[e.Term] = e.Weight
+	}
+	return m
+}
+
+// Top returns the first k entries of v (or all if k exceeds the length).
+func (v Vector) Top(k int) Vector {
+	if k > len(v) {
+		k = len(v)
+	}
+	return v[:k]
+}
+
+// Sum returns the sum of weights in v. The paper uses this quantity (over a
+// concept's top-100 relevant keywords) to separate specific from low-quality
+// concepts (Table II).
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, e := range v {
+		s += e.Weight
+	}
+	return s
+}
+
+// SortVector sorts entries by decreasing weight, breaking ties by term so
+// results are deterministic.
+func SortVector(v Vector) {
+	sort.Slice(v, func(i, j int) bool {
+		if v[i].Weight != v[j].Weight {
+			return v[i].Weight > v[j].Weight
+		}
+		return v[i].Term < v[j].Term
+	})
+}
+
+// TFIDF computes the tf·idf vector of the given terms against the
+// dictionary: tf(t) * idf(t), where tf is the raw count in terms. Stop-words
+// are removed. The result is sorted by decreasing weight.
+func TFIDF(d *Dictionary, terms []string) Vector {
+	counts := make(map[string]int)
+	for _, t := range terms {
+		if t == "" || textproc.IsStopword(t) {
+			continue
+		}
+		counts[t]++
+	}
+	v := make(Vector, 0, len(counts))
+	for t, c := range counts {
+		v = append(v, Entry{Term: t, Weight: float64(c) * d.IDF(t)})
+	}
+	SortVector(v)
+	return v
+}
+
+// NormalizeMax scales v so the maximum weight is 1 (weights end up in
+// [0,1]), matching the paper's "the remaining terms' weights are normalized
+// so that they are between 0 and 1". A nil or empty vector is returned
+// unchanged.
+func NormalizeMax(v Vector) Vector {
+	if len(v) == 0 {
+		return v
+	}
+	max := v[0].Weight
+	for _, e := range v {
+		if e.Weight > max {
+			max = e.Weight
+		}
+	}
+	if max <= 0 {
+		return v
+	}
+	out := make(Vector, len(v))
+	for i, e := range v {
+		out[i] = Entry{Term: e.Term, Weight: e.Weight / max}
+	}
+	return out
+}
+
+// PunishBelow multiplies by factor the weight of every entry whose weight is
+// below threshold, then drops entries whose resulting weight falls below
+// removeBelow. This mirrors the paper's two-threshold scheme: "The weights
+// of terms that fall under a certain threshold are punished ... and the
+// resulting tf*idf scores below another threshold are removed".
+func PunishBelow(v Vector, threshold, factor, removeBelow float64) Vector {
+	out := make(Vector, 0, len(v))
+	for _, e := range v {
+		w := e.Weight
+		if w < threshold {
+			w *= factor
+		}
+		if w >= removeBelow {
+			out = append(out, Entry{Term: e.Term, Weight: w})
+		}
+	}
+	SortVector(out)
+	return out
+}
+
+// CosineSimilarity computes the cosine of the angle between two sparse
+// vectors; 0 if either is empty or zero.
+func CosineSimilarity(a, b Vector) float64 {
+	am := a.Map()
+	dot, na, nb := 0.0, 0.0, 0.0
+	for _, e := range a {
+		na += e.Weight * e.Weight
+	}
+	for _, e := range b {
+		nb += e.Weight * e.Weight
+		if w, ok := am[e.Term]; ok {
+			dot += w * e.Weight
+		}
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

@@ -1,0 +1,239 @@
+// Package detect implements the Contextual Shortcuts entity-detection
+// pipeline (paper §II): pre-processing (HTML parsing, tokenization, sentence
+// and paragraph boundary detection), specialized detectors for the three
+// entity classes — pattern-based entities, dictionary named entities and
+// query-log concepts — followed by post-processing: collision detection
+// between overlapping entities, disambiguation and filtering.
+package detect
+
+import (
+	"sort"
+
+	"contextrank/internal/taxonomy"
+	"contextrank/internal/textproc"
+	"contextrank/internal/units"
+)
+
+// Kind is the entity class of a detection.
+type Kind int
+
+const (
+	// KindPattern covers regular-expression entities (emails, URLs,
+	// phones). They are "not subject to any relevance calculations [and]
+	// always annotated".
+	KindPattern Kind = iota
+	// KindNamed covers dictionary named entities.
+	KindNamed
+	// KindConcept covers abstract concepts from query-log units.
+	KindConcept
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPattern:
+		return "pattern"
+	case KindNamed:
+		return "named"
+	default:
+		return "concept"
+	}
+}
+
+// Detection is one detected entity occurrence.
+type Detection struct {
+	// Text is the surface form as it appears in the document.
+	Text string
+	// Norm is the normalized (lower-case) phrase; for named entities and
+	// concepts this is the dictionary/unit key.
+	Norm string
+	// Kind is the entity class.
+	Kind Kind
+	// PatternType is "email", "url" or "phone" for pattern entities.
+	PatternType string
+	// Entry is the disambiguated taxonomy entry for named entities.
+	Entry *taxonomy.Entry
+	// Unit is the matched query-log unit for concepts.
+	Unit *units.Unit
+	// Start and End are byte offsets into the *plain text* input.
+	Start, End int
+	// Sentence is the sentence index of the detection.
+	Sentence int
+}
+
+// MinUnitScore is the default floor on a unit's normalized score for the
+// concept detector to annotate it. Every term in the query log is formally
+// a unit, but the production system works with "a large, but finite set of
+// entities ... plus a large subset of all the concepts available to us from
+// query logs" — the subset with enough query traffic to be worth
+// annotating. Without a floor the detector would fire on nearly every word.
+const MinUnitScore = 0.35
+
+// Pipeline is a configured detector.
+type Pipeline struct {
+	dict         *taxonomy.Dictionary
+	units        *units.Set
+	minUnitScore float64
+}
+
+// New builds a pipeline with the default unit-score floor. Either resource
+// may be nil, disabling that detector (useful in tests and for pattern-only
+// deployments).
+func New(dict *taxonomy.Dictionary, unitSet *units.Set) *Pipeline {
+	return NewWithFloor(dict, unitSet, MinUnitScore)
+}
+
+// NewWithFloor builds a pipeline with an explicit unit-score floor for the
+// concept detector (0 annotates every unit).
+func NewWithFloor(dict *taxonomy.Dictionary, unitSet *units.Set, minUnitScore float64) *Pipeline {
+	return &Pipeline{dict: dict, units: unitSet, minUnitScore: minUnitScore}
+}
+
+// DetectHTML strips HTML then runs detection; offsets refer to the stripped
+// plain text, which is also returned.
+func (p *Pipeline) DetectHTML(html string) (string, []Detection) {
+	text := textproc.StripHTML(html)
+	return text, p.Detect(text)
+}
+
+// Detect runs the full pipeline over plain text.
+func (p *Pipeline) Detect(text string) []Detection {
+	tokens := textproc.Tokenize(text)
+
+	// Word-token view for the phrase scanners, with a mapping back to the
+	// token slice so byte offsets survive.
+	norm := make([]string, 0, len(tokens))
+	tokIdx := make([]int, 0, len(tokens))
+	for i, t := range tokens {
+		if t.Kind != textproc.Punct && t.Norm != "" {
+			norm = append(norm, t.Norm)
+			tokIdx = append(tokIdx, i)
+		}
+	}
+
+	var all []Detection
+	all = append(all, detectPatterns(text)...)
+
+	if p.dict != nil {
+		for _, m := range p.dict.FindInTokens(norm) {
+			entry := p.dict.Disambiguate(m, contextWindow(norm, m.Start, m.End, 25))
+			first, last := tokens[tokIdx[m.Start]], tokens[tokIdx[m.End-1]]
+			e := entry
+			all = append(all, Detection{
+				Text:     text[first.Start:last.End],
+				Norm:     m.Phrase,
+				Kind:     KindNamed,
+				Entry:    &e,
+				Start:    first.Start,
+				End:      last.End,
+				Sentence: first.Sentence,
+			})
+		}
+	}
+
+	if p.units != nil {
+		for _, m := range p.units.FindInTokens(norm) {
+			if m.Unit.Score < p.minUnitScore {
+				continue
+			}
+			first, last := tokens[tokIdx[m.Start]], tokens[tokIdx[m.End-1]]
+			all = append(all, Detection{
+				Text:     text[first.Start:last.End],
+				Norm:     m.Unit.Text,
+				Kind:     KindConcept,
+				Unit:     m.Unit,
+				Start:    first.Start,
+				End:      last.End,
+				Sentence: first.Sentence,
+			})
+		}
+	}
+
+	all = filter(all)
+	return resolveCollisions(all)
+}
+
+// contextWindow returns the normalized tokens within radius of [start,end).
+func contextWindow(norm []string, start, end, radius int) []string {
+	lo := start - radius
+	if lo < 0 {
+		lo = 0
+	}
+	hi := end + radius
+	if hi > len(norm) {
+		hi = len(norm)
+	}
+	return norm[lo:hi]
+}
+
+// filter applies the post-processing filters: single-character concepts,
+// pure stop-word concepts and number-only concepts are dropped. Named and
+// pattern entities pass through (editorial dictionaries are pre-vetted).
+func filter(ds []Detection) []Detection {
+	out := ds[:0]
+	for _, d := range ds {
+		if d.Kind == KindConcept {
+			if len(d.Norm) <= 1 {
+				continue
+			}
+			if allStopwords(d.Norm) {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func allStopwords(phrase string) bool {
+	any := false
+	for _, w := range textproc.Words(phrase) {
+		any = true
+		if !textproc.IsStopword(w) {
+			return false
+		}
+	}
+	return any
+}
+
+// resolveCollisions drops detections whose spans overlap a higher-priority
+// detection. Priority: pattern entities first (always annotated), then
+// longer spans, then named entities over concepts, then earlier start.
+func resolveCollisions(ds []Detection) []Detection {
+	if len(ds) <= 1 {
+		return ds
+	}
+	order := make([]int, len(ds))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		x, y := ds[order[a]], ds[order[b]]
+		if (x.Kind == KindPattern) != (y.Kind == KindPattern) {
+			return x.Kind == KindPattern
+		}
+		if lx, ly := x.End-x.Start, y.End-y.Start; lx != ly {
+			return lx > ly
+		}
+		if x.Kind != y.Kind {
+			return x.Kind < y.Kind
+		}
+		return x.Start < y.Start
+	})
+	var kept []Detection
+	for _, idx := range order {
+		d := ds[idx]
+		collides := false
+		for _, k := range kept {
+			if d.Start < k.End && k.Start < d.End {
+				collides = true
+				break
+			}
+		}
+		if !collides {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Start < kept[j].Start })
+	return kept
+}

@@ -1,0 +1,47 @@
+package detect
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Pattern-based entity detectors (paper §II-A type 1): "primarily detected
+// by regular expressions ... they typically achieve very high accuracy".
+var (
+	emailRe = regexp.MustCompile(`[A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,}`)
+	urlRe   = regexp.MustCompile(`(?:https?://|www\.)[^\s<>"')\]]+`)
+	phoneRe = regexp.MustCompile(`(?:\+?1[\-. ])?\(?\d{3}\)?[\-. ]\d{3}[\-. ]\d{4}`)
+)
+
+// detectPatterns finds pattern entities in text. Emails are detected before
+// URLs so that "mailto"-like text is not double counted; overlapping pattern
+// matches are resolved by the usual collision pass downstream.
+func detectPatterns(text string) []Detection {
+	var out []Detection
+	add := func(ptype string, locs [][]int) {
+		for _, loc := range locs {
+			raw := text[loc[0]:loc[1]]
+			// Trim trailing sentence punctuation from URLs.
+			if ptype == "url" {
+				trimmed := strings.TrimRight(raw, ".,;:!?")
+				loc[1] -= len(raw) - len(trimmed)
+				raw = trimmed
+			}
+			if raw == "" {
+				continue
+			}
+			out = append(out, Detection{
+				Text:        raw,
+				Norm:        strings.ToLower(raw),
+				Kind:        KindPattern,
+				PatternType: ptype,
+				Start:       loc[0],
+				End:         loc[1],
+			})
+		}
+	}
+	add("email", emailRe.FindAllStringIndex(text, -1))
+	add("url", urlRe.FindAllStringIndex(text, -1))
+	add("phone", phoneRe.FindAllStringIndex(text, -1))
+	return out
+}

@@ -1,0 +1,107 @@
+package editorial
+
+import (
+	"math/rand"
+	"testing"
+
+	"contextrank/internal/world"
+)
+
+func TestKappaPerfectAgreement(t *testing.T) {
+	a := []Level{Very, Not, Somewhat, Very}
+	if got := Kappa(a, a); got != 1 {
+		t.Fatalf("perfect kappa = %v", got)
+	}
+}
+
+func TestKappaChanceLevel(t *testing.T) {
+	// Independent uniform ratings should give kappa near 0.
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	a := make([]Level, n)
+	b := make([]Level, n)
+	for i := range a {
+		a[i] = Level(rng.Intn(3))
+		b[i] = Level(rng.Intn(3))
+	}
+	if got := Kappa(a, b); got < -0.05 || got > 0.05 {
+		t.Fatalf("chance kappa = %v, want ~0", got)
+	}
+}
+
+func TestKappaSystematicDisagreement(t *testing.T) {
+	a := []Level{Very, Very, Not, Not}
+	b := []Level{Not, Not, Very, Very}
+	if got := Kappa(a, b); got >= 0 {
+		t.Fatalf("opposed raters kappa = %v, want negative", got)
+	}
+}
+
+func TestKappaDegenerate(t *testing.T) {
+	if Kappa(nil, nil) != 0 {
+		t.Fatal("empty input")
+	}
+	if Kappa([]Level{Very}, []Level{Very, Not}) != 0 {
+		t.Fatal("length mismatch")
+	}
+	// Both raters constant and equal: pe == 1 -> defined as 1.
+	a := []Level{Very, Very, Very}
+	if got := Kappa(a, a); got != 1 {
+		t.Fatalf("constant agreement kappa = %v", got)
+	}
+}
+
+func TestPanelKappaSubstantialAgreement(t *testing.T) {
+	// Judges share the ground truth and differ only by noise, so agreement
+	// must be well above chance — the precondition for pooling their
+	// ratings in Table VI.
+	w := world.New(world.Config{Seed: 191, VocabSize: 1200, NumTopics: 8, NumConcepts: 150})
+	panel := NewPanel(3, 7)
+	rng := rand.New(rand.NewSource(8))
+	var concepts []*world.Concept
+	var degrees []float64
+	for i := range w.Concepts {
+		concepts = append(concepts, &w.Concepts[i])
+		degrees = append(degrees, rng.Float64())
+	}
+	ik, rk := PanelKappa(panel, concepts, degrees)
+	if ik < 0.4 {
+		t.Errorf("interest kappa = %.3f, want substantial agreement", ik)
+	}
+	if rk < 0.4 {
+		t.Errorf("relevance kappa = %.3f, want substantial agreement", rk)
+	}
+	t.Logf("panel kappa: interest=%.3f relevance=%.3f", ik, rk)
+}
+
+func TestPanelKappaDegenerate(t *testing.T) {
+	panel := NewPanel(1, 1)
+	if ik, rk := PanelKappa(panel, nil, nil); ik != 0 || rk != 0 {
+		t.Fatal("single judge panel should return 0")
+	}
+}
+
+func TestMajorityRate(t *testing.T) {
+	panel := NewPanel(5, 3)
+	hot := &world.Concept{Interest: 0.95, Quality: 0.9}
+	r := panel.MajorityRate(hot, 0.95)
+	if r.Interest != Very {
+		t.Fatalf("majority interest for a hot concept = %v", r.Interest)
+	}
+	// A low-quality aside must never be pooled as fully relevant; with
+	// judge noise the majority lands on Not (or occasionally Somewhat).
+	cold := &world.Concept{Interest: 0.0, Quality: 0.1}
+	notCount := 0
+	for trial := 0; trial < 20; trial++ {
+		r := panel.MajorityRate(cold, 0.0)
+		if r.Relevance == Very {
+			t.Fatalf("majority rated a low-quality aside fully relevant")
+		}
+		if r.Relevance == Not {
+			notCount++
+		}
+	}
+	if notCount < 12 {
+		t.Fatalf("majority chose Not only %d/20 times", notCount)
+	}
+}

@@ -1,0 +1,123 @@
+package editorial
+
+import (
+	"testing"
+
+	"contextrank/internal/world"
+)
+
+func TestRateLevelsFollowLatents(t *testing.T) {
+	j := NewJudge(1)
+	hot := &world.Concept{Interest: 0.95, Quality: 0.9}
+	cold := &world.Concept{Interest: 0.0, Quality: 0.9}
+	lowq := &world.Concept{Interest: 0.5, Quality: 0.05}
+
+	var hotVery, coldNot, relVery, irrNot, lowqNotRel int
+	const n = 500
+	for i := 0; i < n; i++ {
+		if j.Rate(hot, 0.95).Interest == Very {
+			hotVery++
+		}
+		if j.Rate(cold, 0.95).Interest == Not {
+			coldNot++
+		}
+		if j.Rate(hot, 0.95).Relevance == Very {
+			relVery++
+		}
+		if j.Rate(hot, 0.02).Relevance == Not {
+			irrNot++
+		}
+		if r := j.Rate(lowq, 0.95).Relevance; r == Not || r == Somewhat {
+			lowqNotRel++
+		}
+	}
+	if hotVery < n*8/10 {
+		t.Errorf("hot concept Very-rate %d/%d too low", hotVery, n)
+	}
+	if coldNot < n*7/10 {
+		t.Errorf("cold concept Not-rate %d/%d too low", coldNot, n)
+	}
+	if relVery < n*7/10 {
+		t.Errorf("relevant mention Very-relevant rate %d/%d too low", relVery, n)
+	}
+	if irrNot < n*6/10 {
+		t.Errorf("irrelevant mention Not-relevant rate %d/%d too low", irrNot, n)
+	}
+	if lowqNotRel < n*7/10 {
+		t.Errorf("low-quality concept downgraded-relevance rate %d/%d too low", lowqNotRel, n)
+	}
+}
+
+func TestCantTellIsRare(t *testing.T) {
+	j := NewJudge(2)
+	c := &world.Concept{Interest: 0.5, Quality: 0.5}
+	cant := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		r := j.Rate(c, 0.6)
+		if r.Interest == CantTell {
+			cant++
+		}
+		if r.Relevance == CantTell {
+			cant++
+		}
+	}
+	if cant > n/100 {
+		t.Fatalf("Can't Tell too common: %d/%d", cant, 2*n)
+	}
+}
+
+func TestTally(t *testing.T) {
+	var tally Tally
+	tally.Add(Judgement{Interest: Very, Relevance: Not})
+	tally.Add(Judgement{Interest: Very, Relevance: Very})
+	tally.Add(Judgement{Interest: Not, Relevance: Somewhat})
+	if tally.Total != 3 {
+		t.Fatalf("Total = %d", tally.Total)
+	}
+	if got := tally.InterestPct(Very); got < 66 || got > 67 {
+		t.Fatalf("InterestPct(Very) = %v", got)
+	}
+	if got := tally.RelevancePct(Not); got < 33 || got > 34 {
+		t.Fatalf("RelevancePct(Not) = %v", got)
+	}
+	// BadPct = (1 Not-interest + 1 Not-relevance) / 6 ≈ 33.3.
+	if got := tally.BadPct(); got < 33 || got > 34 {
+		t.Fatalf("BadPct = %v", got)
+	}
+}
+
+func TestTallyMerge(t *testing.T) {
+	var a, b Tally
+	a.Add(Judgement{Interest: Very, Relevance: Very})
+	b.Add(Judgement{Interest: Not, Relevance: Not})
+	a.Merge(b)
+	if a.Total != 2 || a.Interest[Very] != 1 || a.Interest[Not] != 1 {
+		t.Fatalf("merge broken: %+v", a)
+	}
+}
+
+func TestTallyEmpty(t *testing.T) {
+	var tally Tally
+	if tally.InterestPct(Very) != 0 || tally.RelevancePct(Not) != 0 || tally.BadPct() != 0 {
+		t.Fatal("empty tally should report zeros")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for _, l := range []Level{Very, Somewhat, Not, CantTell} {
+		if l.String() == "" {
+			t.Fatal("empty level name")
+		}
+	}
+}
+
+func TestJudgeDeterministic(t *testing.T) {
+	c := &world.Concept{Interest: 0.5, Quality: 0.5}
+	j1, j2 := NewJudge(7), NewJudge(7)
+	for i := 0; i < 100; i++ {
+		if j1.Rate(c, 0.6) != j2.Rate(c, 0.6) {
+			t.Fatal("judges with same seed disagree")
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"contextrank/internal/querylog"
+	"contextrank/internal/searchsim"
+	"contextrank/internal/taxonomy"
+	"contextrank/internal/units"
+	"contextrank/internal/wiki"
+	"contextrank/internal/world"
+)
+
+type fixture struct {
+	w   *world.World
+	ext *Extractor
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	w := world.New(world.Config{Seed: 81, VocabSize: 1200, NumTopics: 8, NumConcepts: 150})
+	log := querylog.Generate(w, querylog.Config{Seed: 82})
+	us := units.Extract(log, units.Config{})
+	eng := searchsim.BuildCorpus(w, searchsim.CorpusConfig{Seed: 83, MaxDocsPerConcept: 15})
+	enc := wiki.Build(w, wiki.Config{Seed: 84})
+	dict := taxonomy.Build(w, 85)
+	return &fixture{w: w, ext: NewExtractor(log, us, eng, enc, dict)}
+}
+
+func TestFieldsBasic(t *testing.T) {
+	f := newFixture(t)
+	c := &f.w.Concepts[len(f.w.Concepts)/2]
+	fields := f.ext.Fields(c.Name)
+	if fields.ConceptSize != float64(len(c.Terms)) {
+		t.Fatalf("ConceptSize = %v, want %d", fields.ConceptSize, len(c.Terms))
+	}
+	if fields.NumberOfChars != float64(len(c.Name)) {
+		t.Fatalf("NumberOfChars = %v", fields.NumberOfChars)
+	}
+	if fields.SearchEnginePhrase <= 0 {
+		t.Fatal("every world concept has search results")
+	}
+	if fields.HighLevelType != c.Type && !c.Ambiguous() {
+		t.Fatalf("HighLevelType = %v, want %v", fields.HighLevelType, c.Type)
+	}
+}
+
+func TestFreqFeaturesMonotoneWithLog(t *testing.T) {
+	f := newFixture(t)
+	for i := range f.w.Concepts[:30] {
+		c := &f.w.Concepts[i]
+		fields := f.ext.Fields(c.Name)
+		if fields.FreqPhraseContained < fields.FreqExact {
+			t.Fatalf("phrase-contained < exact for %q", c.Name)
+		}
+	}
+}
+
+func TestExpandAllGroupsDim(t *testing.T) {
+	f := newFixture(t)
+	fields := f.ext.Fields(f.w.Concepts[0].Name)
+	all := AllGroups()
+	v := fields.Expand(all)
+	if len(v) != Dim(all) {
+		t.Fatalf("Expand len %d != Dim %d", len(v), Dim(all))
+	}
+	if Dim(all) != 3+1+3+NumEntityTypes+1 {
+		t.Fatalf("unexpected full dim %d", Dim(all))
+	}
+}
+
+func TestExpandMaskedGroups(t *testing.T) {
+	f := newFixture(t)
+	fields := f.ext.Fields(f.w.Concepts[0].Name)
+	for g := Group(0); g < NumGroups; g++ {
+		mask := Without(g)
+		v := fields.Expand(mask)
+		if len(v) != Dim(mask) {
+			t.Fatalf("group %v: Expand len %d != Dim %d", g, len(v), Dim(mask))
+		}
+		if len(v) >= len(fields.Expand(AllGroups())) {
+			t.Fatalf("removing group %v did not shrink the vector", g)
+		}
+	}
+}
+
+func TestOneHotType(t *testing.T) {
+	fields := Fields{HighLevelType: world.TypePerson}
+	v := fields.Expand(map[Group]bool{GroupTaxonomy: true})
+	if len(v) != NumEntityTypes {
+		t.Fatalf("one-hot len = %d", len(v))
+	}
+	hot := 0
+	for i, x := range v {
+		if x == 1 {
+			hot++
+			if i != int(world.TypePerson) {
+				t.Fatalf("wrong hot index %d", i)
+			}
+		} else if x != 0 {
+			t.Fatalf("non-binary one-hot value %v", x)
+		}
+	}
+	if hot != 1 {
+		t.Fatalf("hot count = %d", hot)
+	}
+}
+
+func TestNilResources(t *testing.T) {
+	ext := NewExtractor(nil, nil, nil, nil, nil)
+	f := ext.Fields("global warming")
+	if f.FreqExact != 0 || f.SearchEnginePhrase != 0 || f.WikiWordCount != 0 {
+		t.Fatal("nil resources should zero features")
+	}
+	if f.ConceptSize != 2 {
+		t.Fatalf("ConceptSize = %v", f.ConceptSize)
+	}
+	if f.NumberOfChars != float64(len("global warming")) {
+		t.Fatalf("NumberOfChars = %v", f.NumberOfChars)
+	}
+}
+
+func TestCountTerms(t *testing.T) {
+	cases := map[string]int{
+		"":                 0,
+		"one":              1,
+		"two words":        2,
+		" padded  spaces ": 2,
+		"a b c":            3,
+	}
+	for in, want := range cases {
+		if got := countTerms(in); got != want {
+			t.Errorf("countTerms(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// The load-bearing statistical property: interesting concepts must have
+// larger query-log features (that is how the model learns interestingness).
+func TestFeatureInterestCorrelation(t *testing.T) {
+	f := newFixture(t)
+	var hot, cold []float64
+	for i := range f.w.Concepts {
+		c := &f.w.Concepts[i]
+		if c.LowQuality() {
+			continue
+		}
+		fields := f.ext.Fields(c.Name)
+		if c.Interest > 0.6 {
+			hot = append(hot, fields.FreqExact)
+		} else if c.Interest < 0.1 {
+			cold = append(cold, fields.FreqExact)
+		}
+	}
+	if len(hot) == 0 || len(cold) == 0 {
+		t.Skip("world lacks extremes")
+	}
+	if mean(hot) <= mean(cold) {
+		t.Fatalf("hot freq_exact mean %.2f <= cold %.2f", mean(hot), mean(cold))
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	for g := Group(0); g < NumGroups; g++ {
+		if g.String() == "?" {
+			t.Fatalf("group %d has no name", g)
+		}
+	}
+	if Group(99).String() != "?" {
+		t.Fatal("unknown group should be ?")
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / math.Max(1, float64(len(xs)))
+}
+
+func BenchmarkFields(b *testing.B) {
+	f := newFixture(b)
+	name := f.w.Concepts[40].Name
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.ext.Fields(name)
+	}
+}

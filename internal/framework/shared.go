@@ -1,0 +1,270 @@
+package framework
+
+import (
+	"fmt"
+	"sort"
+
+	"contextrank/internal/golomb"
+)
+
+// This file implements the first memory optimization §VI sketches for the
+// relevant-keyword store: "exploiting the fact that many TIDs are shared by
+// related concepts". Concepts are clustered greedily by keyword (TID)
+// overlap; each cluster factors the TIDs that several members share into a
+// sorted pool stored once, and every member pack then references pool
+// members by their *pool index* (≈10 bits Golomb-coded) instead of a 22-bit
+// TID, keeping only its unique TIDs at full width. Scores stay at 10 bits.
+
+// SharedPacks is the pooled, compressed keyword store.
+type SharedPacks struct {
+	TIDs  *TIDTable
+	pools [][]uint32 // per-cluster sorted shared TIDs
+	packs map[string]sharedPack
+
+	maxScore float64
+}
+
+type sharedPack struct {
+	cluster int
+
+	// Pool references: Golomb-coded sorted pool indexes + 10-bit scores.
+	nPool     int
+	poolM     uint32
+	poolIdx   []byte
+	poolScore []byte
+
+	// Residual entries: Golomb-coded sorted TIDs + 10-bit scores.
+	nOwn     int
+	ownM     uint32
+	ownTID   []byte
+	ownScore []byte
+}
+
+// MinShare is how many member packs must contain a TID for it to enter the
+// cluster pool.
+const MinShare = 2
+
+// BuildSharedPacks converts a raw KeywordPacks store into the pooled form.
+// clusterSize bounds the greedy clusters (default 32 concepts).
+func BuildSharedPacks(kp *KeywordPacks, clusterSize int) *SharedPacks {
+	if clusterSize <= 1 {
+		clusterSize = 32
+	}
+	names := make([]string, 0, len(kp.packs))
+	for n := range kp.packs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Greedy clustering by TID overlap: seed with the first unassigned
+	// concept, then add the concepts sharing the most TIDs with the seed.
+	tidsOf := make(map[string]map[uint32]bool, len(names))
+	for _, n := range names {
+		set := make(map[uint32]bool, len(kp.packs[n]))
+		for _, e := range kp.packs[n] {
+			set[e>>ScoreBits] = true
+		}
+		tidsOf[n] = set
+	}
+	assigned := make(map[string]int, len(names))
+	var clusters [][]string
+	for _, seed := range names {
+		if _, ok := assigned[seed]; ok {
+			continue
+		}
+		cid := len(clusters)
+		members := []string{seed}
+		assigned[seed] = cid
+		type cand struct {
+			name    string
+			overlap int
+		}
+		var cands []cand
+		for _, other := range names {
+			if _, ok := assigned[other]; ok {
+				continue
+			}
+			ov := overlap(tidsOf[seed], tidsOf[other])
+			if ov > 0 {
+				cands = append(cands, cand{other, ov})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].overlap != cands[j].overlap {
+				return cands[i].overlap > cands[j].overlap
+			}
+			return cands[i].name < cands[j].name
+		})
+		for _, c := range cands {
+			if len(members) >= clusterSize {
+				break
+			}
+			assigned[c.name] = cid
+			members = append(members, c.name)
+		}
+		clusters = append(clusters, members)
+	}
+
+	sp := &SharedPacks{
+		TIDs:     kp.TIDs,
+		packs:    make(map[string]sharedPack, len(names)),
+		maxScore: kp.maxScore,
+	}
+
+	for cid, members := range clusters {
+		// Pool: TIDs present in ≥ MinShare member packs.
+		count := make(map[uint32]int)
+		for _, m := range members {
+			for tid := range tidsOf[m] {
+				count[tid]++
+			}
+		}
+		var pool []uint32
+		for tid, c := range count {
+			if c >= MinShare {
+				pool = append(pool, tid)
+			}
+		}
+		sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+		poolIndex := make(map[uint32]int, len(pool))
+		for i, tid := range pool {
+			poolIndex[tid] = i
+		}
+		sp.pools = append(sp.pools, pool)
+
+		for _, m := range members {
+			sp.packs[m] = encodeShared(kp.packs[m], cid, poolIndex)
+		}
+	}
+	return sp
+}
+
+func overlap(a, b map[uint32]bool) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	n := 0
+	for tid := range a {
+		if b[tid] {
+			n++
+		}
+	}
+	return n
+}
+
+// encodeShared splits a pack into pool references and residuals and
+// Golomb-codes both parts.
+func encodeShared(pack []uint32, cluster int, poolIndex map[uint32]int) sharedPack {
+	var poolRefs []uint32 // pool indexes
+	var poolScores, ownScores golomb.BitWriter
+	var ownTIDs []uint32
+	// pack is sorted by TID; pool indexes follow TID order, so both ref
+	// sequences stay sorted.
+	for _, e := range pack {
+		tid, q := unpackEntry(e)
+		if pi, ok := poolIndex[tid]; ok {
+			poolRefs = append(poolRefs, uint32(pi))
+			poolScores.WriteBits(uint64(q), ScoreBits)
+		} else {
+			ownTIDs = append(ownTIDs, tid)
+			ownScores.WriteBits(uint64(q), ScoreBits)
+		}
+	}
+	sort.Slice(poolRefs, func(i, j int) bool { return poolRefs[i] < poolRefs[j] })
+	// Note: sorting refs separates them from their scores only if pool
+	// indexes were out of order — they are not, because poolIndex is
+	// assigned over a TID-sorted pool, so index order == TID order.
+	poolData, poolM := golomb.EncodeSorted(poolRefs)
+	ownData, ownM := golomb.EncodeSorted(ownTIDs)
+	return sharedPack{
+		cluster: cluster,
+		nPool:   len(poolRefs), poolM: poolM, poolIdx: poolData, poolScore: poolScores.Bytes(),
+		nOwn: len(ownTIDs), ownM: ownM, ownTID: ownData, ownScore: ownScores.Bytes(),
+	}
+}
+
+// Len returns the number of stored concepts.
+func (sp *SharedPacks) Len() int { return len(sp.packs) }
+
+// BytesFor returns the encoded size of one concept's pack (excluding its
+// share of the pools).
+func (sp *SharedPacks) BytesFor(concept string) int {
+	p, ok := sp.packs[concept]
+	if !ok {
+		return 0
+	}
+	return len(p.poolIdx) + len(p.poolScore) + len(p.ownTID) + len(p.ownScore)
+}
+
+// TotalBytes returns the aggregate store size: all packs plus the pools
+// (4 bytes per pool TID).
+func (sp *SharedPacks) TotalBytes() int {
+	n := 0
+	for concept := range sp.packs {
+		n += sp.BytesFor(concept)
+	}
+	for _, pool := range sp.pools {
+		n += 4 * len(pool)
+	}
+	return n
+}
+
+// Entries decodes a concept's packed (TID, score) entries, sorted by TID —
+// the inverse of the encoding, byte-for-byte equal to the raw
+// KeywordPacks representation.
+func (sp *SharedPacks) Entries(concept string) ([]uint32, error) {
+	p, ok := sp.packs[concept]
+	if !ok {
+		return nil, nil
+	}
+	pool := sp.pools[p.cluster]
+
+	refs, err := golomb.DecodeSorted(p.poolIdx, p.nPool, p.poolM)
+	if err != nil {
+		return nil, fmt.Errorf("framework: shared pack pool refs: %w", err)
+	}
+	poolScores := golomb.NewBitReader(p.poolScore)
+	out := make([]uint32, 0, p.nPool+p.nOwn)
+	for _, ref := range refs {
+		q, err := poolScores.ReadBits(ScoreBits)
+		if err != nil {
+			return nil, fmt.Errorf("framework: shared pack pool scores: %w", err)
+		}
+		if int(ref) >= len(pool) {
+			return nil, fmt.Errorf("framework: shared pack ref %d out of pool (len %d)", ref, len(pool))
+		}
+		out = append(out, packEntry(pool[ref], uint32(q)))
+	}
+
+	own, err := golomb.DecodeSorted(p.ownTID, p.nOwn, p.ownM)
+	if err != nil {
+		return nil, fmt.Errorf("framework: shared pack own tids: %w", err)
+	}
+	ownScores := golomb.NewBitReader(p.ownScore)
+	for _, tid := range own {
+		q, err := ownScores.ReadBits(ScoreBits)
+		if err != nil {
+			return nil, fmt.Errorf("framework: shared pack own scores: %w", err)
+		}
+		out = append(out, packEntry(tid, uint32(q)))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i]>>ScoreBits < out[j]>>ScoreBits })
+	return out, nil
+}
+
+// Score computes the relevance of concept against a document TID set,
+// decoding on the fly (the memory/CPU trade §VI alludes to).
+func (sp *SharedPacks) Score(concept string, docTIDs map[uint32]bool) (float64, error) {
+	entries, err := sp.Entries(concept)
+	if err != nil {
+		return 0, err
+	}
+	score := 0.0
+	for _, e := range entries {
+		tid, q := unpackEntry(e)
+		if docTIDs[tid] {
+			score += float64(q) / MaxQScore * sp.maxScore
+		}
+	}
+	return score, nil
+}

@@ -1,0 +1,121 @@
+package framework
+
+import (
+	"reflect"
+	"testing"
+
+	"contextrank/internal/corpus"
+	"contextrank/internal/relevance"
+)
+
+// sharedFixture builds packs where concepts in the same "topic" share most
+// keywords (the situation §VI's optimization exploits).
+func sharedFixture() *KeywordPacks {
+	shared := corpus.Vector{}
+	for i := 0; i < 60; i++ {
+		shared = append(shared, corpus.Entry{
+			Term:   "shared" + string(rune('a'+i%26)) + string(rune('a'+i/26)),
+			Weight: float64(60 - i),
+		})
+	}
+	packs := map[string]corpus.Vector{}
+	for c := 0; c < 10; c++ {
+		v := make(corpus.Vector, 0, 80)
+		v = append(v, shared...) // common across the cluster
+		for j := 0; j < 20; j++ {
+			v = append(v, corpus.Entry{
+				Term:   "own" + string(rune('a'+c)) + string(rune('a'+j)),
+				Weight: float64(20 - j),
+			})
+		}
+		packs["m-concept"+string(rune('a'+c))] = v
+	}
+	packs["m-loner"] = corpus.Vector{{Term: "isolated", Weight: 3}}
+	// Unrelated concepts whose keywords scatter the TID space, as a real
+	// million-concept inventory does: interleaved names intern between the
+	// cluster's terms, so the cluster packs' TIDs have large gaps and plain
+	// per-pack delta coding pays full width for them.
+	for n := 0; n < 200; n++ {
+		name := string(rune('a'+n%26)) + "-noise" + string(rune('a'+n/26))
+		v := make(corpus.Vector, 0, 30)
+		for j := 0; j < 30; j++ {
+			v = append(v, corpus.Entry{
+				Term:   "nz" + string(rune('a'+n%26)) + string(rune('a'+n/26%26)) + string(rune('a'+j)),
+				Weight: float64(30 - j),
+			})
+		}
+		packs[name] = v
+	}
+	return BuildKeywordPacks(relevance.NewStore(relevance.Snippets, packs))
+}
+
+func TestSharedPacksRoundtrip(t *testing.T) {
+	kp := sharedFixture()
+	sp := BuildSharedPacks(kp, 16)
+	if sp.Len() != kp.Len() {
+		t.Fatalf("Len %d != %d", sp.Len(), kp.Len())
+	}
+	for concept, raw := range kp.packs {
+		got, err := sp.Entries(concept)
+		if err != nil {
+			t.Fatalf("%s: %v", concept, err)
+		}
+		if !reflect.DeepEqual(got, raw) && !(len(got) == 0 && len(raw) == 0) {
+			t.Fatalf("%s: roundtrip mismatch:\n got %v\nwant %v", concept, got, raw)
+		}
+	}
+}
+
+func TestSharedPacksCompress(t *testing.T) {
+	kp := sharedFixture()
+	sp := BuildSharedPacks(kp, 16)
+	if sp.TotalBytes() >= kp.TotalBytes() {
+		t.Fatalf("shared store (%d B) not smaller than raw (%d B)", sp.TotalBytes(), kp.TotalBytes())
+	}
+	// For the clustered concepts specifically (where TIDs are shared and
+	// scattered), the pooled encoding must beat plain per-pack Golomb.
+	plainCluster, sharedCluster := 0, 0
+	for c := 0; c < 10; c++ {
+		concept := "m-concept" + string(rune('a'+c))
+		plainCluster += kp.Compress(concept).Bytes()
+		sharedCluster += sp.BytesFor(concept)
+	}
+	t.Logf("cluster members: raw=%d B plain golomb=%d B pooled=%d B (pool overhead amortized separately)",
+		10*kp.BytesFor("m-concepta"), plainCluster, sharedCluster)
+	if sharedCluster >= plainCluster {
+		t.Fatalf("pooled packs (%d B) not smaller than plain golomb (%d B)", sharedCluster, plainCluster)
+	}
+}
+
+func TestSharedPacksScoreMatchesRaw(t *testing.T) {
+	kp := sharedFixture()
+	sp := BuildSharedPacks(kp, 16)
+	doc := kp.DocTIDs(map[string]bool{
+		"sharedaa": true, "sharedba": true, "ownaa": true, "ownab": true,
+	})
+	for _, concept := range []string{"m-concepta", "m-conceptb", "m-loner"} {
+		want := kp.Score(concept, doc)
+		got, err := sp.Score(concept, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s: shared score %v != raw %v", concept, got, want)
+		}
+	}
+}
+
+func TestSharedPacksUnknownConcept(t *testing.T) {
+	sp := BuildSharedPacks(sharedFixture(), 16)
+	entries, err := sp.Entries("missing")
+	if err != nil || entries != nil {
+		t.Fatalf("unknown concept: %v, %v", entries, err)
+	}
+	if got := sp.BytesFor("missing"); got != 0 {
+		t.Fatalf("unknown BytesFor = %d", got)
+	}
+	score, err := sp.Score("missing", map[uint32]bool{1: true})
+	if err != nil || score != 0 {
+		t.Fatalf("unknown Score = %v, %v", score, err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package golomb implements Golomb coding (Witten, Moffat & Bell, "Managing
+// Gigabytes" — the paper's reference [26]) with a bit-level writer/reader.
+// The production framework (paper §VI) cites Golomb coding as the way to
+// shrink the 400 MB of per-concept relevant-keyword packs; we use it to
+// compress sorted term-ID lists via delta coding.
+package golomb
+
+import (
+	"errors"
+	"math"
+)
+
+// BitWriter accumulates bits most-significant-first.
+type BitWriter struct {
+	buf  []byte
+	nbit uint8 // bits used in the last byte (0..7; 0 means last byte full/absent)
+}
+
+// WriteBit appends one bit (0 or 1).
+func (w *BitWriter) WriteBit(b uint32) {
+	if w.nbit == 0 {
+		w.buf = append(w.buf, 0)
+		w.nbit = 8
+	}
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (w.nbit - 1)
+	}
+	w.nbit--
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint32(v>>uint(i)) & 1)
+	}
+}
+
+// WriteUnary appends v as unary: v ones followed by a zero.
+func (w *BitWriter) WriteUnary(v uint32) {
+	for i := uint32(0); i < v; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+// Bytes returns the encoded bytes (the final byte is zero-padded).
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitLen returns the number of bits written.
+func (w *BitWriter) BitLen() int {
+	if len(w.buf) == 0 {
+		return 0
+	}
+	return len(w.buf)*8 - int(w.nbit)
+}
+
+// BitReader consumes bits most-significant-first.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader wraps data.
+func NewBitReader(data []byte) *BitReader { return &BitReader{buf: data} }
+
+// ErrOutOfBits is returned when a read runs past the end of the data.
+var ErrOutOfBits = errors.New("golomb: out of bits")
+
+// ReadBit returns the next bit.
+func (r *BitReader) ReadBit() (uint32, error) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		return 0, ErrOutOfBits
+	}
+	bit := (r.buf[byteIdx] >> (7 - uint(r.pos&7))) & 1
+	r.pos++
+	return uint32(bit), nil
+}
+
+// ReadBits reads n bits as an unsigned integer.
+func (r *BitReader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary-coded value.
+func (r *BitReader) ReadUnary() (uint32, error) {
+	var v uint32
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return v, nil
+		}
+		v++
+		if v > 1<<30 {
+			return 0, errors.New("golomb: unary run too long (corrupt data)")
+		}
+	}
+}
+
+// OptimalM returns the Golomb parameter for geometrically-distributed values
+// with the given mean: M ≈ ⌈0.69·mean⌉, minimum 1.
+func OptimalM(mean float64) uint32 {
+	m := uint32(math.Ceil(0.69 * mean))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// encodeValue writes one value with parameter m: quotient in unary,
+// remainder in truncated binary.
+func encodeValue(w *BitWriter, v, m uint32) {
+	q := v / m
+	rem := v % m
+	w.WriteUnary(q)
+	if m == 1 {
+		return
+	}
+	b := uint(bits(m))
+	cutoff := uint32(1<<b) - m
+	if rem < cutoff {
+		w.WriteBits(uint64(rem), b-1)
+	} else {
+		w.WriteBits(uint64(rem+cutoff), b)
+	}
+}
+
+// decodeValue reads one value with parameter m.
+func decodeValue(r *BitReader, m uint32) (uint32, error) {
+	q, err := r.ReadUnary()
+	if err != nil {
+		return 0, err
+	}
+	if m == 1 {
+		return q, nil
+	}
+	b := uint(bits(m))
+	cutoff := uint32(1<<b) - m
+	rem, err := r.ReadBits(b - 1)
+	if err != nil {
+		return 0, err
+	}
+	if uint32(rem) >= cutoff {
+		extra, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		rem = rem<<1 | uint64(extra)
+		rem -= uint64(cutoff)
+	}
+	return q*m + uint32(rem), nil
+}
+
+// bits returns ⌈log2(m)⌉ for m ≥ 2.
+func bits(m uint32) int {
+	n := 0
+	for v := m - 1; v > 0; v >>= 1 {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Encode compresses values with parameter m.
+func Encode(values []uint32, m uint32) []byte {
+	if m < 1 {
+		m = 1
+	}
+	var w BitWriter
+	for _, v := range values {
+		encodeValue(&w, v, m)
+	}
+	return w.Bytes()
+}
+
+// Decode decompresses n values with parameter m.
+func Decode(data []byte, n int, m uint32) ([]uint32, error) {
+	if m < 1 {
+		m = 1
+	}
+	r := NewBitReader(data)
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		v, err := decodeValue(r, m)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// EncodeSorted delta-codes a strictly-increasing sequence then Golomb-codes
+// the gaps (gap−1, since gaps are ≥1) with a parameter derived from the mean
+// gap. The chosen m is returned for decoding.
+func EncodeSorted(values []uint32) (data []byte, m uint32) {
+	if len(values) == 0 {
+		return nil, 1
+	}
+	gaps := make([]uint32, len(values))
+	prev := uint32(0)
+	first := true
+	for i, v := range values {
+		if first {
+			gaps[i] = v
+			first = false
+		} else {
+			gaps[i] = v - prev - 1
+		}
+		prev = v
+	}
+	mean := float64(values[len(values)-1]) / float64(len(values))
+	m = OptimalM(mean)
+	return Encode(gaps, m), m
+}
+
+// DecodeSorted reverses EncodeSorted.
+func DecodeSorted(data []byte, n int, m uint32) ([]uint32, error) {
+	gaps, err := Decode(data, n, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	var prev uint32
+	for i, g := range gaps {
+		if i == 0 {
+			out[i] = g
+		} else {
+			out[i] = prev + g + 1
+		}
+		prev = out[i]
+	}
+	return out, nil
+}

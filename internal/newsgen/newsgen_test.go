@@ -1,0 +1,126 @@
+package newsgen
+
+import (
+	"strings"
+	"testing"
+
+	"contextrank/internal/world"
+)
+
+func testStories(t testing.TB) (*world.World, []Story) {
+	t.Helper()
+	w := world.New(world.Config{Seed: 91, VocabSize: 1500, NumTopics: 8, NumConcepts: 250})
+	return w, Generate(w, Config{Seed: 92, NumStories: 60})
+}
+
+func TestGenerateCount(t *testing.T) {
+	_, stories := testStories(t)
+	if len(stories) != 60 {
+		t.Fatalf("stories = %d", len(stories))
+	}
+}
+
+func TestStoriesContainMentions(t *testing.T) {
+	_, stories := testStories(t)
+	for _, s := range stories {
+		if len(s.Mentions) < 3 || len(s.Mentions) > 9 {
+			t.Fatalf("story %d has %d mentions", s.ID, len(s.Mentions))
+		}
+		lower := strings.ToLower(s.Text)
+		for _, m := range s.Mentions {
+			if !strings.Contains(lower, m.Concept.Name) {
+				t.Fatalf("story %d text missing mention %q", s.ID, m.Concept.Name)
+			}
+			if m.Position < 0 || m.Position >= len(s.Text) {
+				t.Fatalf("story %d mention %q position %d out of range", s.ID, m.Concept.Name, m.Position)
+			}
+			at := lower[m.Position:]
+			if !strings.HasPrefix(at, m.Concept.Name) {
+				t.Fatalf("position %d does not point at %q", m.Position, m.Concept.Name)
+			}
+		}
+	}
+}
+
+func TestMentionsSortedByPosition(t *testing.T) {
+	_, stories := testStories(t)
+	for _, s := range stories {
+		for i := 1; i < len(s.Mentions); i++ {
+			if s.Mentions[i-1].Position > s.Mentions[i].Position {
+				t.Fatalf("story %d mentions unsorted", s.ID)
+			}
+		}
+	}
+}
+
+func TestMentionMixIncludesIrrelevantAndLowQuality(t *testing.T) {
+	_, stories := testStories(t)
+	var relevant, irrelevant, lowq int
+	for _, s := range stories {
+		for _, m := range s.Mentions {
+			switch {
+			case m.Concept.LowQuality():
+				lowq++
+			case m.Relevant:
+				relevant++
+			default:
+				irrelevant++
+			}
+		}
+	}
+	if relevant == 0 || irrelevant == 0 || lowq == 0 {
+		t.Fatalf("mention mix lacks variety: rel=%d irr=%d lowq=%d", relevant, irrelevant, lowq)
+	}
+	if relevant <= irrelevant {
+		t.Fatalf("relevant (%d) should dominate irrelevant (%d)", relevant, irrelevant)
+	}
+}
+
+func TestRelevantMentionsMatchStoryTopic(t *testing.T) {
+	_, stories := testStories(t)
+	for _, s := range stories {
+		for _, m := range s.Mentions {
+			if m.Relevant && m.Concept.Topic != s.Topic {
+				t.Fatalf("story %d topic %d has 'relevant' mention of topic %d",
+					s.ID, s.Topic, m.Concept.Topic)
+			}
+		}
+	}
+}
+
+func TestNoDuplicateConceptsInStory(t *testing.T) {
+	_, stories := testStories(t)
+	for _, s := range stories {
+		seen := make(map[int]bool)
+		for _, m := range s.Mentions {
+			if seen[m.Concept.ID] {
+				t.Fatalf("story %d mentions concept %q twice", s.ID, m.Concept.Name)
+			}
+			seen[m.Concept.ID] = true
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := world.New(world.Config{Seed: 91, VocabSize: 800, NumTopics: 6, NumConcepts: 100})
+	s1 := Generate(w, Config{Seed: 9, NumStories: 10})
+	s2 := Generate(w, Config{Seed: 9, NumStories: 10})
+	for i := range s1 {
+		if s1[i].Text != s2[i].Text {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestSomeStoriesAreLong(t *testing.T) {
+	_, stories := testStories(t)
+	long := 0
+	for _, s := range stories {
+		if len(s.Text) > 2500 {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Fatal("no story exceeds one window; windowing untestable")
+	}
+}

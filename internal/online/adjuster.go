@@ -1,0 +1,63 @@
+package online
+
+import (
+	"sort"
+
+	"contextrank/internal/detect"
+	"contextrank/internal/framework"
+)
+
+// Adjuster layers online CTR boosts over the static production runtime: the
+// §VIII scenario where the offline-trained model stays fixed but concepts
+// "experiencing high CTRs" get boosted in real time.
+type Adjuster struct {
+	Runtime *framework.Runtime
+	Tracker *Tracker
+	// Weight scales the tracker boost against the model score. Default 1.
+	Weight float64
+}
+
+// NewAdjuster wires a tracker over a runtime.
+func NewAdjuster(rt *framework.Runtime, tr *Tracker, weight float64) *Adjuster {
+	if weight == 0 {
+		weight = 1
+	}
+	return &Adjuster{Runtime: rt, Tracker: tr, Weight: weight}
+}
+
+// Annotate runs the static runtime, re-scores the ranked concepts with the
+// online boost, re-sorts, and keeps the top-N distinct concepts. Pattern
+// entities pass through unchanged.
+func (a *Adjuster) Annotate(text string, topN int) []framework.Annotation {
+	anns := a.Runtime.Annotate(text, 0)
+	var patterns, ranked []framework.Annotation
+	for _, an := range anns {
+		if an.Detection.Kind == detect.KindPattern {
+			patterns = append(patterns, an)
+			continue
+		}
+		an.Score += a.Weight * a.Tracker.Boost(an.Detection.Norm)
+		ranked = append(ranked, an)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].Relevance > ranked[j].Relevance
+	})
+	if topN > 0 {
+		kept := make(map[string]bool, topN)
+		out := ranked[:0]
+		for _, an := range ranked {
+			if !kept[an.Detection.Norm] {
+				if len(kept) == topN {
+					continue
+				}
+				kept[an.Detection.Norm] = true
+			}
+			out = append(out, an)
+		}
+		ranked = out
+	}
+	return append(patterns, ranked...)
+}

@@ -1,0 +1,132 @@
+package querylog
+
+import "contextrank/internal/world"
+
+// The paper's §IV-A notes: "we essentially focus on the frequencies; we do
+// not perform any categorization to understand their intentions such as
+// navigational, transactional or informational (see [11] — Broder's "A
+// taxonomy of web search"), although there might be potential benefits in
+// doing so." This file implements that categorization so the benefit can be
+// measured: queries are classified against Broder's taxonomy, and the
+// per-intent frequency breakdown becomes available as candidate features.
+
+// Intent is Broder's query-intent class.
+type Intent int
+
+const (
+	// Informational queries seek content about the topic.
+	Informational Intent = iota
+	// Navigational queries name a single entity the user wants to reach.
+	Navigational
+	// Transactional queries carry an action word ("buy", "review", ...).
+	Transactional
+)
+
+// String names the intent.
+func (i Intent) String() string {
+	switch i {
+	case Navigational:
+		return "navigational"
+	case Transactional:
+		return "transactional"
+	default:
+		return "informational"
+	}
+}
+
+// Classifier assigns intents using the world's ground structures: the
+// intent vocabulary marks transactional refiners, and a bare concept name
+// is navigational.
+type Classifier struct {
+	intentWords map[string]bool
+	isConcept   func(string) bool
+}
+
+// NewClassifier builds a classifier from the world.
+func NewClassifier(w *world.World) *Classifier {
+	iw := make(map[string]bool, len(w.IntentVocab))
+	for _, t := range w.IntentVocab {
+		iw[t] = true
+	}
+	return &Classifier{
+		intentWords: iw,
+		isConcept:   func(name string) bool { return w.ConceptByName(name) != nil },
+	}
+}
+
+// Classify assigns the intent of one query.
+func (c *Classifier) Classify(q Query) Intent {
+	for _, t := range q.Terms {
+		if c.intentWords[t] {
+			return Transactional
+		}
+	}
+	if c.isConcept(q.Text) {
+		return Navigational
+	}
+	return Informational
+}
+
+// IntentBreakdown is the frequency-weighted share of each intent among the
+// queries mentioning a concept.
+type IntentBreakdown struct {
+	Informational, Navigational, Transactional float64
+	Total                                      int64
+}
+
+// Share returns the fraction of traffic with the given intent.
+func (b IntentBreakdown) Share(i Intent) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	switch i {
+	case Navigational:
+		return b.Navigational / float64(b.Total)
+	case Transactional:
+		return b.Transactional / float64(b.Total)
+	default:
+		return b.Informational / float64(b.Total)
+	}
+}
+
+// ConceptIntents computes the intent breakdown of every query containing
+// the concept as a phrase.
+func (c *Classifier) ConceptIntents(l *Log, concept string) IntentBreakdown {
+	var b IntentBreakdown
+	terms := splitTerms(concept)
+	if len(terms) == 0 {
+		return b
+	}
+	for _, idx := range l.QueriesContaining(terms[0]) {
+		q := l.Query(idx)
+		if !containsPhrase(q.Terms, terms) {
+			continue
+		}
+		b.Total += int64(q.Freq)
+		switch c.Classify(q) {
+		case Navigational:
+			b.Navigational += float64(q.Freq)
+		case Transactional:
+			b.Transactional += float64(q.Freq)
+		default:
+			b.Informational += float64(q.Freq)
+		}
+	}
+	return b
+}
+
+func splitTerms(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package querylog
+
+import (
+	"reflect"
+	"testing"
+
+	"contextrank/internal/world"
+)
+
+func TestClassifyIntents(t *testing.T) {
+	w := world.New(world.Config{Seed: 241, VocabSize: 1200, NumTopics: 8, NumConcepts: 150})
+	cl := NewClassifier(w)
+
+	var named *world.Concept
+	for i := range w.Concepts {
+		if w.Concepts[i].Topic >= 0 {
+			named = &w.Concepts[i]
+			break
+		}
+	}
+	// Bare concept name = navigational.
+	if got := cl.Classify(Query{Text: named.Name, Terms: named.Terms}); got != Navigational {
+		t.Fatalf("bare concept = %v", got)
+	}
+	// Concept + intent word = transactional.
+	iw := w.IntentVocab[0]
+	q := Query{Text: named.Name + " " + iw, Terms: append(append([]string{}, named.Terms...), iw)}
+	if got := cl.Classify(q); got != Transactional {
+		t.Fatalf("intent-word query = %v", got)
+	}
+	// Random words = informational.
+	if got := cl.Classify(Query{Text: "zzz qqq", Terms: []string{"zzz", "qqq"}}); got != Informational {
+		t.Fatalf("random query = %v", got)
+	}
+}
+
+func TestConceptIntentsBreakdown(t *testing.T) {
+	w := world.New(world.Config{Seed: 242, VocabSize: 1200, NumTopics: 8, NumConcepts: 150})
+	cl := NewClassifier(w)
+	l := Generate(w, Config{Seed: 243})
+
+	// Over the generated log, a popular concept's traffic must include all
+	// three intents: exact queries (navigational), intent-word refinements
+	// (transactional), and context refinements (informational).
+	checked := 0
+	for i := range w.Concepts {
+		c := &w.Concepts[i]
+		if c.Interest < 0.5 || c.LowQuality() {
+			continue
+		}
+		b := cl.ConceptIntents(l, c.Name)
+		if b.Total == 0 {
+			continue
+		}
+		checked++
+		sum := b.Share(Informational) + b.Share(Navigational) + b.Share(Transactional)
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("shares sum to %v", sum)
+		}
+		if b.Share(Navigational) == 0 {
+			t.Errorf("%q: no navigational traffic despite exact queries", c.Name)
+		}
+		if checked >= 10 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no popular concepts checked")
+	}
+}
+
+func TestConceptIntentsUnknown(t *testing.T) {
+	w := world.New(world.Config{Seed: 244, VocabSize: 800, NumTopics: 6, NumConcepts: 60})
+	cl := NewClassifier(w)
+	l := Generate(w, Config{Seed: 245})
+	b := cl.ConceptIntents(l, "definitely not queried")
+	if b.Total != 0 {
+		t.Fatalf("unknown concept traffic = %+v", b)
+	}
+	if b.Share(Informational) != 0 {
+		t.Fatal("empty breakdown share should be 0")
+	}
+	if got := cl.ConceptIntents(l, ""); got.Total != 0 {
+		t.Fatal("empty concept should have no traffic")
+	}
+}
+
+func TestIntentString(t *testing.T) {
+	if Informational.String() != "informational" || Navigational.String() != "navigational" || Transactional.String() != "transactional" {
+		t.Fatal("Intent.String broken")
+	}
+}
+
+func TestSplitTerms(t *testing.T) {
+	cases := map[string][]string{
+		"":             nil,
+		"one":          {"one"},
+		"a b":          {"a", "b"},
+		"  padded  x ": {"padded", "x"},
+	}
+	for in, want := range cases {
+		if got := splitTerms(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("splitTerms(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

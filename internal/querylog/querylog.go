@@ -1,0 +1,262 @@
+// Package querylog models the search-engine query log the paper mines for
+// interestingness features and concept (unit) extraction. The paper used
+// "the most popular 20 million queries submitted to the engine in the week
+// of November 17th–23rd, 2007"; we generate a log of the same statistical
+// shape from the synthetic world: per-concept exact and phrase-containing
+// queries whose frequencies follow the concept's latent interestingness,
+// plus a Zipfian long tail of random queries.
+package querylog
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"contextrank/internal/world"
+)
+
+// Query is one distinct query string with its weekly frequency.
+type Query struct {
+	// Text is the raw query (lower-case, space-separated terms).
+	Text string
+	// Terms is Text split into terms.
+	Terms []string
+	// Freq is the number of times the query was submitted.
+	Freq int
+}
+
+// Log is a weekly query log with frequency-weighted lookups.
+type Log struct {
+	Queries []Query
+
+	totalFreq int64
+	byText    map[string]int   // query text -> index
+	byTerm    map[string][]int // term -> indexes of queries containing it
+	termFreq  map[string]int64 // term -> sum of freqs of queries containing it
+}
+
+// Config parameterizes log generation.
+type Config struct {
+	Seed int64
+	// MaxExactFreq is the frequency of the hottest concept's exact query.
+	// Default 20000.
+	MaxExactFreq int
+	// PhraseVariants is how many distinct phrase-containing query variants
+	// are generated per concept. Default 12.
+	PhraseVariants int
+	// LongTail is the number of random tail queries. Default 4 * number of
+	// concepts.
+	LongTail int
+}
+
+func (c Config) withDefaults(w *world.World) Config {
+	if c.MaxExactFreq == 0 {
+		c.MaxExactFreq = 20000
+	}
+	if c.PhraseVariants == 0 {
+		c.PhraseVariants = 12
+	}
+	if c.LongTail == 0 {
+		c.LongTail = 4 * len(w.Concepts)
+	}
+	return c
+}
+
+// Generate builds a query log from the world. Frequencies are driven by
+// concept interestingness: freq_exact ≈ MaxExactFreq · Interest² with
+// log-normal noise, so the feature the ranker mines is a noisy monotone
+// observation of the latent variable.
+func Generate(w *world.World, cfg Config) *Log {
+	cfg = cfg.withDefaults(w)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	agg := make(map[string]int)
+
+	for i := range w.Concepts {
+		c := &w.Concepts[i]
+		noise := math.Exp(0.5 * rng.NormFloat64())
+		exact := int(float64(cfg.MaxExactFreq) * math.Pow(c.Interest, 2) * noise)
+		// Low-quality phrases still get queried a lot (that is exactly why
+		// they sneak into the candidate set via unit scores): give them a
+		// floor driven by generality rather than interest.
+		if c.LowQuality() {
+			exact += int(1500 * (1 - c.Specificity) * (0.5 + rng.Float64()))
+		}
+		if exact > 0 {
+			agg[c.Name] += exact
+		}
+		// Phrase-containing variants: concept plus one or two of its
+		// context terms (or generic refiners for topicless phrases).
+		for v := 0; v < cfg.PhraseVariants; v++ {
+			extra := pickRefiner(w, c, rng)
+			if extra == "" {
+				continue
+			}
+			var text string
+			if rng.Intn(2) == 0 {
+				text = c.Name + " " + extra
+			} else {
+				text = extra + " " + c.Name
+			}
+			// Even tail concepts receive some refinement traffic: the
+			// suggestion service has coverage for almost everything, just
+			// at low frequency.
+			f := 2 + rng.Intn(4) + int(float64(exact)*(0.05+0.2*rng.Float64()))
+			agg[text] += f
+		}
+	}
+
+	// Long tail: 1-3 distinct random topical terms.
+	for i := 0; i < cfg.LongTail; i++ {
+		topic := &w.Topics[rng.Intn(len(w.Topics))]
+		n := 1 + rng.Intn(3)
+		terms := make([]string, 0, n)
+		for len(terms) < n {
+			term := w.SampleTerm(topic, rng)
+			dup := false
+			for _, prev := range terms {
+				if prev == term {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				terms = append(terms, term)
+			}
+		}
+		text := strings.Join(terms, " ")
+		agg[text] += 1 + rng.Intn(40)
+	}
+
+	return FromCounts(agg)
+}
+
+// pickRefiner selects an extra query term for a phrase-containing variant.
+// Refiners come from the concept's query vocabulary, which overlaps its
+// document context only partially (see world.Config.RefinerOverlap).
+func pickRefiner(w *world.World, c *world.Concept, rng *rand.Rand) string {
+	if c.Topic >= 0 && len(c.QueryRefiners) > 0 {
+		return c.QueryRefiners[rng.Intn(len(c.QueryRefiners))]
+	}
+	// Topicless (low-quality) concepts are refined with random vocabulary.
+	return w.Vocab[rng.Intn(len(w.Vocab))]
+}
+
+// FromCounts builds a Log from a query→frequency map (exported so tests and
+// the units extractor can build small hand-crafted logs).
+func FromCounts(counts map[string]int) *Log {
+	l := &Log{
+		byText:   make(map[string]int, len(counts)),
+		byTerm:   make(map[string][]int),
+		termFreq: make(map[string]int64),
+	}
+	texts := make([]string, 0, len(counts))
+	for t := range counts {
+		texts = append(texts, t)
+	}
+	sort.Strings(texts) // determinism
+	for _, text := range texts {
+		f := counts[text]
+		if f <= 0 {
+			continue
+		}
+		q := Query{Text: text, Terms: strings.Fields(text), Freq: f}
+		idx := len(l.Queries)
+		l.Queries = append(l.Queries, q)
+		l.byText[text] = idx
+		l.totalFreq += int64(f)
+		seen := make(map[string]bool, len(q.Terms))
+		for _, term := range q.Terms {
+			if seen[term] {
+				continue
+			}
+			seen[term] = true
+			l.byTerm[term] = append(l.byTerm[term], idx)
+			l.termFreq[term] += int64(f)
+		}
+	}
+	return l
+}
+
+// NumDistinct returns the number of distinct queries.
+func (l *Log) NumDistinct() int { return len(l.Queries) }
+
+// TotalFreq returns the total number of query submissions (sum of
+// frequencies).
+func (l *Log) TotalFreq() int64 { return l.totalFreq }
+
+// FreqExact returns the frequency of queries exactly equal to phrase — the
+// paper's feature (1) freq_exact.
+func (l *Log) FreqExact(phrase string) int {
+	if i, ok := l.byText[phrase]; ok {
+		return l.Queries[i].Freq
+	}
+	return 0
+}
+
+// FreqPhraseContained returns the summed frequency of queries that contain
+// phrase as a contiguous sub-phrase (including exact matches) — the paper's
+// feature (2) freq_phrase_contained.
+func (l *Log) FreqPhraseContained(phrase string) int {
+	terms := strings.Fields(phrase)
+	if len(terms) == 0 {
+		return 0
+	}
+	candidates := l.byTerm[terms[0]]
+	total := 0
+	for _, idx := range candidates {
+		if containsPhrase(l.Queries[idx].Terms, terms) {
+			total += l.Queries[idx].Freq
+		}
+	}
+	return total
+}
+
+// containsPhrase reports whether hay contains needle as a contiguous
+// subsequence.
+func containsPhrase(hay, needle []string) bool {
+	if len(needle) > len(hay) {
+		return false
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		match := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// TermFreq returns the frequency-weighted number of query submissions
+// containing term.
+func (l *Log) TermFreq(term string) int64 { return l.termFreq[term] }
+
+// QueriesContaining returns the queries whose term set includes term,
+// in deterministic order. The returned slice aliases internal storage and
+// must not be modified.
+func (l *Log) QueriesContaining(term string) []int { return l.byTerm[term] }
+
+// Query returns the i'th query.
+func (l *Log) Query(i int) Query { return l.Queries[i] }
+
+// TopQueries returns the n most frequent queries (ties broken by text).
+func (l *Log) TopQueries(n int) []Query {
+	qs := make([]Query, len(l.Queries))
+	copy(qs, l.Queries)
+	sort.Slice(qs, func(i, j int) bool {
+		if qs[i].Freq != qs[j].Freq {
+			return qs[i].Freq > qs[j].Freq
+		}
+		return qs[i].Text < qs[j].Text
+	})
+	if n > len(qs) {
+		n = len(qs)
+	}
+	return qs[:n]
+}

@@ -1,0 +1,63 @@
+package ranksvm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelJSON is the serialized wire form of a Model.
+type modelJSON struct {
+	Kernel       Kernel        `json:"kernel"`
+	Weights      []float64     `json:"weights,omitempty"`
+	Gamma        float64       `json:"gamma,omitempty"`
+	SupportPairs []SupportPair `json:"support_pairs,omitempty"`
+	Mean         []float64     `json:"mean"`
+	Scale        []float64     `json:"scale"`
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(modelJSON{
+		Kernel:       m.Kernel,
+		Weights:      m.Weights,
+		Gamma:        m.Gamma,
+		SupportPairs: m.SupportPairs,
+		Mean:         m.Mean,
+		Scale:        m.Scale,
+	})
+}
+
+// Load reads a model saved by Save.
+func Load(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("ranksvm: decode model: %w", err)
+	}
+	if len(mj.Mean) == 0 || len(mj.Mean) != len(mj.Scale) {
+		return nil, fmt.Errorf("ranksvm: corrupt model: mean/scale length %d/%d", len(mj.Mean), len(mj.Scale))
+	}
+	switch mj.Kernel {
+	case Linear:
+		if len(mj.Weights) != len(mj.Mean) {
+			return nil, fmt.Errorf("ranksvm: corrupt linear model: %d weights for %d features", len(mj.Weights), len(mj.Mean))
+		}
+	case RBF:
+		for i, sp := range mj.SupportPairs {
+			if len(sp.Pos) != len(mj.Mean) || len(sp.Neg) != len(mj.Mean) {
+				return nil, fmt.Errorf("ranksvm: corrupt support pair %d", i)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("ranksvm: unknown kernel %d", mj.Kernel)
+	}
+	return &Model{
+		Kernel:       mj.Kernel,
+		Weights:      mj.Weights,
+		Gamma:        mj.Gamma,
+		SupportPairs: mj.SupportPairs,
+		Mean:         mj.Mean,
+		Scale:        mj.Scale,
+	}, nil
+}

@@ -1,0 +1,350 @@
+// Package relevance implements the paper's §IV-B: mining, for every concept
+// c_i, its top m=100 relevant context keywords with confidence scores
+//
+//	relevantTerms_i = {(t_i1, s_i1), ..., (t_im, s_im)}
+//
+// from three resources — search-engine result snippets, the Prisma
+// query-refinement tool, and related query suggestions — and then estimating
+// the relevance of a concept in a *new* context from co-occurrences of the
+// pre-mined keywords with the concept in that context.
+//
+// All mined terms are stemmed, lower-cased and stripped of surrounding
+// punctuation, exactly as the paper notes.
+package relevance
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"contextrank/internal/corpus"
+	"contextrank/internal/searchsim"
+	"contextrank/internal/stem"
+	"contextrank/internal/textproc"
+)
+
+// Resource selects the mining source.
+type Resource int
+
+const (
+	// Snippets mines the snippets of the first hundred search results —
+	// the paper's best resource (Table IV).
+	Snippets Resource = iota
+	// Prisma mines the ≤20 feedback terms of the Prisma tool.
+	Prisma
+	// Suggestions mines up to 300 related query suggestions with their
+	// frequencies, scored Σ ln(query_freq) · idf(term).
+	Suggestions
+)
+
+// String names the resource.
+func (r Resource) String() string {
+	switch r {
+	case Snippets:
+		return "snippets"
+	case Prisma:
+		return "prisma"
+	default:
+		return "suggestions"
+	}
+}
+
+// TopM is the paper's keyword budget per concept ("top m (100 used in
+// practice) relevant context keywords").
+const TopM = 100
+
+// SnippetDepth is how many result snippets are mined ("the snippets
+// retrieved for the first hundred results").
+const SnippetDepth = 100
+
+// Miner mines relevant keywords for concepts.
+type Miner struct {
+	engine    *searchsim.Engine
+	prisma    *searchsim.Prisma
+	suggestor *searchsim.Suggestor
+	m         int
+}
+
+// NewMiner builds a miner over the three resources. Any resource may be nil
+// if only specific Resource values will be mined.
+func NewMiner(e *searchsim.Engine, p *searchsim.Prisma, s *searchsim.Suggestor) *Miner {
+	return &Miner{engine: e, prisma: p, suggestor: s, m: TopM}
+}
+
+// Mine returns the concept's relevant keywords from the chosen resource:
+// up to TopM stemmed terms with confidence scores, sorted decreasing.
+// The concept's own terms are excluded (they trivially co-occur).
+func (mn *Miner) Mine(concept string, r Resource) corpus.Vector {
+	switch r {
+	case Snippets:
+		return mn.mineSnippets(concept)
+	case Prisma:
+		return mn.minePrisma(concept)
+	default:
+		return mn.mineSuggestions(concept)
+	}
+}
+
+// ownStems returns the stemmed terms of the concept itself.
+func ownStems(concept string) map[string]bool {
+	out := make(map[string]bool)
+	for _, t := range textproc.Words(concept) {
+		out[stem.Stem(t)] = true
+	}
+	return out
+}
+
+// MaxDocFrac drops candidate keywords that occur in more than this fraction
+// of the corpus: such terms co-occur with everything and carry no
+// concept-specific relevance signal (they behave like corpus-level
+// stop-words).
+const MaxDocFrac = 0.15
+
+// finalize stems raw term scores (accumulating same-stem scores), drops the
+// concept's own terms, stop-words and corpus-wide common terms, sorts, and
+// truncates to m.
+func (mn *Miner) finalize(concept string, scores map[string]float64) corpus.Vector {
+	own := ownStems(concept)
+	dict := mn.engine.Dictionary()
+	maxDF := int(MaxDocFrac * float64(dict.NumDocs()))
+	agg := make(map[string]float64, len(scores))
+	for term, s := range scores {
+		if textproc.IsStopword(term) {
+			continue
+		}
+		if dict.DocFreq(term) > maxDF {
+			continue
+		}
+		st := stem.Stem(term)
+		if st == "" || own[st] {
+			continue
+		}
+		agg[st] += s
+	}
+	v := make(corpus.Vector, 0, len(agg))
+	for t, s := range agg {
+		v = append(v, corpus.Entry{Term: t, Weight: s})
+	}
+	corpus.SortVector(v)
+	if len(v) > mn.m {
+		v = v[:mn.m]
+	}
+	return v
+}
+
+// mineSnippets: "we pretend that the returned snippets constitute a single
+// document and then use a bag-of-words model. For each unique term that
+// appears in this document, we compute its tf·idf score."
+func (mn *Miner) mineSnippets(concept string) corpus.Vector {
+	snippets := mn.engine.Snippets(concept, SnippetDepth)
+	counts := make(map[string]int)
+	for _, s := range snippets {
+		for _, t := range textproc.Words(s) {
+			counts[t]++
+		}
+	}
+	dict := mn.engine.Dictionary()
+	scores := make(map[string]float64, len(counts))
+	for t, c := range counts {
+		scores[t] = float64(c) * dict.IDF(t)
+	}
+	return mn.finalize(concept, scores)
+}
+
+// minePrisma: "We construct a single document from the concepts returned by
+// Prisma for concept c_i, and compute scores s_ij based on the tf·idf
+// values."
+func (mn *Miner) minePrisma(concept string) corpus.Vector {
+	feedback := mn.prisma.Feedback(concept)
+	counts := make(map[string]float64)
+	for _, e := range feedback {
+		// The feedback entry weight acts as the term's count mass in the
+		// pseudo-document.
+		counts[e.Term] += e.Weight
+	}
+	dict := mn.engine.Dictionary()
+	scores := make(map[string]float64, len(counts))
+	for t, c := range counts {
+		scores[t] = c * dict.IDF(t)
+	}
+	return mn.finalize(concept, scores)
+}
+
+// mineSuggestions: each unique term across the suggestions is scored
+// Σ_{i=1..k} ln(query_freq_i) · idf(term), over the k suggestions
+// containing it.
+func (mn *Miner) mineSuggestions(concept string) corpus.Vector {
+	suggestions := mn.suggestor.Suggest(concept, searchsim.SuggestionLimit)
+	lnSum := make(map[string]float64)
+	for _, s := range suggestions {
+		seen := make(map[string]bool)
+		for _, t := range textproc.Words(s.Text) {
+			if !seen[t] {
+				seen[t] = true
+				lnSum[t] += math.Log(float64(s.Freq) + 1)
+			}
+		}
+	}
+	dict := mn.engine.Dictionary()
+	scores := make(map[string]float64, len(lnSum))
+	for t, ls := range lnSum {
+		scores[t] = ls * dict.IDF(t)
+	}
+	return mn.finalize(concept, scores)
+}
+
+// Store holds pre-mined relevant keywords for a concept inventory — the
+// offline product that the production framework packs into memory (§VI).
+type Store struct {
+	resource Resource
+	terms    map[string]corpus.Vector
+}
+
+// BuildStore mines all concepts with the given resource, fanning the
+// per-concept mining across workers: it is the slowest offline step (one
+// search + snippet pass per concept) and each concept is independent. The
+// result is deterministic regardless of worker scheduling.
+func BuildStore(mn *Miner, concepts []string, r Resource) *Store {
+	s := &Store{resource: r, terms: make(map[string]corpus.Vector, len(concepts))}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(concepts) {
+		workers = len(concepts)
+	}
+	if workers <= 1 {
+		for _, c := range concepts {
+			s.terms[c] = mn.Mine(c, r)
+		}
+		return s
+	}
+	type result struct {
+		concept string
+		terms   corpus.Vector
+	}
+	jobs := make(chan string)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				results <- result{concept: c, terms: mn.Mine(c, r)}
+			}
+		}()
+	}
+	go func() {
+		for _, c := range concepts {
+			jobs <- c
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	for res := range results {
+		s.terms[res.concept] = res.terms
+	}
+	return s
+}
+
+// NewStore wraps pre-computed vectors (used by the framework's packed
+// representation and by tests).
+func NewStore(r Resource, terms map[string]corpus.Vector) *Store {
+	return &Store{resource: r, terms: terms}
+}
+
+// Resource returns the resource the store was mined from.
+func (s *Store) Resource() Resource { return s.resource }
+
+// RelevantTerms returns the mined keywords of a concept (nil if unknown).
+func (s *Store) RelevantTerms(concept string) corpus.Vector { return s.terms[concept] }
+
+// Concepts returns the stored concept names, sorted.
+func (s *Store) Concepts() []string {
+	out := make([]string, 0, len(s.terms))
+	for c := range s.terms {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summation returns the sum of a concept's relevant-keyword scores — the
+// Table II statistic that separates specific concepts (large summations)
+// from low-quality ones (small summations).
+func (s *Store) Summation(concept string) float64 {
+	return s.terms[concept].Sum()
+}
+
+// ContextStems computes the stemmed content-word set of a context, the form
+// Score expects. Documents are stemmed once and scored against many
+// concepts.
+func ContextStems(text string) map[string]bool {
+	out := make(map[string]bool)
+	for _, t := range textproc.ContentWords(text) {
+		out[stem.Stem(t)] = true
+	}
+	return out
+}
+
+// LocalRadius is the default byte radius of the local context used to score
+// a specific mention: the paper estimates relevance from "co-occurrences of
+// the pre-mined keywords and the given concept in the context", i.e. the
+// text surrounding the occurrence, not the whole document.
+const LocalRadius = 300
+
+// ContextStemsAround computes the stemmed content-word set of the text
+// within radius bytes of position (clamped to the text bounds). radius <= 0
+// selects LocalRadius.
+func ContextStemsAround(text string, position, radius int) map[string]bool {
+	if radius <= 0 {
+		radius = LocalRadius
+	}
+	lo := position - radius
+	if lo < 0 {
+		lo = 0
+	}
+	hi := position + radius
+	if hi > len(text) {
+		hi = len(text)
+	}
+	// Expand to whitespace so words are not cut.
+	for lo > 0 && text[lo-1] != ' ' && text[lo-1] != '\n' {
+		lo--
+	}
+	for hi < len(text) && text[hi] != ' ' && text[hi] != '\n' {
+		hi++
+	}
+	return ContextStems(text[lo:hi])
+}
+
+// Score estimates the relevance of concept in the context: the summed
+// confidence of the concept's pre-mined keywords that co-occur with it in
+// the context ("a reasonable approximation for the relevance of that
+// concept can be computed based on the co-occurrences of the pre-mined
+// keywords and the given concept in the context"). Raw scores are used, so
+// low-quality concepts — whose mined keywords carry small confidences —
+// "almost never get a high relevance score in any context" (the safety
+// net).
+func (s *Store) Score(concept string, contextStems map[string]bool) float64 {
+	score := 0.0
+	for _, e := range s.terms[concept] {
+		if contextStems[e.Term] {
+			score += e.Weight
+		}
+	}
+	return score
+}
+
+// NormalizedScore is Score divided by the concept's keyword summation: the
+// *fraction* of the concept's keyword confidence present in the context,
+// in [0,1]. The raw score carries the concept's pack scale (Table II), which
+// is a quality signal; the normalized score isolates the contextual-coverage
+// signal. The combined ranker uses both.
+func (s *Store) NormalizedScore(concept string, contextStems map[string]bool) float64 {
+	sum := s.terms[concept].Sum()
+	if sum <= 0 {
+		return 0
+	}
+	return s.Score(concept, contextStems) / sum
+}

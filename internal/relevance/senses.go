@@ -1,0 +1,257 @@
+package relevance
+
+import (
+	"math"
+	"sort"
+
+	"contextrank/internal/corpus"
+	"contextrank/internal/textproc"
+)
+
+// This file implements the paper's §IV-C extension for ambiguous concepts
+// ("such as Madonna or Jaguar"): "If a concept is ambiguous, then the
+// relevant keywords mined might have low final scores, as they would not
+// cluster well globally. However, there would be some good local clusters,
+// depending on the number of senses, and if such clusters can be identified
+// then the scores can be boosted."
+//
+// Senses are identified by clustering the concept's result snippets with
+// deterministic spherical k-means over tf·idf snippet vectors; the relevant
+// keywords are then mined per cluster, and a context is scored against the
+// best-matching sense instead of the diluted global pack.
+
+// Sense is one sense of an ambiguous concept: its mined keywords plus the
+// share of snippets that belong to it.
+type Sense struct {
+	// Keywords are the sense's relevant context keywords (stemmed, scored).
+	Keywords corpus.Vector
+	// Share is the fraction of the concept's snippets in this sense.
+	Share float64
+}
+
+// MineSenses clusters the concept's snippets into up to maxSenses senses and
+// mines relevant keywords per sense. Clusters smaller than minShare of the
+// snippets are merged into the largest cluster (they are retrieval noise,
+// not senses). Returns at least one sense whenever any snippet exists.
+func (mn *Miner) MineSenses(concept string, maxSenses int, minShare float64) []Sense {
+	if maxSenses < 1 {
+		maxSenses = 2
+	}
+	if minShare == 0 {
+		minShare = 0.15
+	}
+	snippets := mn.engine.Snippets(concept, SnippetDepth)
+	if len(snippets) == 0 {
+		return nil
+	}
+	dict := mn.engine.Dictionary()
+
+	// tf·idf unit vectors per snippet.
+	vecs := make([]map[string]float64, len(snippets))
+	for i, s := range snippets {
+		counts := make(map[string]float64)
+		for _, t := range textproc.Words(s) {
+			if !textproc.IsStopword(t) {
+				counts[t] += dict.IDF(t)
+			}
+		}
+		normalize(counts)
+		vecs[i] = counts
+	}
+
+	k := maxSenses
+	if k > len(snippets) {
+		k = len(snippets)
+	}
+	assign := sphericalKMeans(vecs, k)
+
+	// Merge sub-threshold clusters into the largest one.
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	largest := 0
+	for c := 1; c < k; c++ {
+		if sizes[c] > sizes[largest] {
+			largest = c
+		}
+	}
+	min := int(minShare * float64(len(snippets)))
+	for i, c := range assign {
+		if sizes[c] < min || sizes[c] < 2 {
+			assign[i] = largest
+		}
+	}
+
+	// Mine keywords per surviving cluster.
+	byCluster := make(map[int][]string)
+	for i, c := range assign {
+		byCluster[c] = append(byCluster[c], snippets[i])
+	}
+	clusterIDs := make([]int, 0, len(byCluster))
+	for c := range byCluster {
+		clusterIDs = append(clusterIDs, c)
+	}
+	sort.Ints(clusterIDs)
+
+	senses := make([]Sense, 0, len(byCluster))
+	for _, c := range clusterIDs {
+		group := byCluster[c]
+		counts := make(map[string]int)
+		for _, s := range group {
+			for _, t := range textproc.Words(s) {
+				counts[t]++
+			}
+		}
+		scores := make(map[string]float64, len(counts))
+		for t, n := range counts {
+			scores[t] = float64(n) * dict.IDF(t)
+		}
+		senses = append(senses, Sense{
+			Keywords: mn.finalize(concept, scores),
+			Share:    float64(len(group)) / float64(len(snippets)),
+		})
+	}
+	sort.Slice(senses, func(i, j int) bool { return senses[i].Share > senses[j].Share })
+	return senses
+}
+
+// normalize scales a sparse vector to unit length.
+func normalize(v map[string]float64) {
+	n := 0.0
+	for _, x := range v {
+		n += x * x
+	}
+	if n == 0 {
+		return
+	}
+	n = math.Sqrt(n)
+	for t := range v {
+		v[t] /= n
+	}
+}
+
+func dot(a, b map[string]float64) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	s := 0.0
+	for t, x := range a {
+		s += x * b[t]
+	}
+	return s
+}
+
+// sphericalKMeans clusters unit vectors by cosine similarity with
+// deterministic farthest-point initialization. Returns the assignment.
+func sphericalKMeans(vecs []map[string]float64, k int) []int {
+	n := len(vecs)
+	assign := make([]int, n)
+	if k <= 1 || n <= 1 {
+		return assign
+	}
+	// Deterministic init: centroid 0 = vector 0; each next centroid is the
+	// vector least similar to all chosen so far.
+	centroidIdx := []int{0}
+	for len(centroidIdx) < k {
+		best, bestSim := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			maxSim := math.Inf(-1)
+			for _, c := range centroidIdx {
+				if s := dot(vecs[i], vecs[c]); s > maxSim {
+					maxSim = s
+				}
+			}
+			if maxSim < bestSim {
+				best, bestSim = i, maxSim
+			}
+		}
+		centroidIdx = append(centroidIdx, best)
+	}
+	centroids := make([]map[string]float64, k)
+	for c, idx := range centroidIdx {
+		centroids[c] = copyVec(vecs[idx])
+	}
+
+	for iter := 0; iter < 20; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestSim := 0, math.Inf(-1)
+			for c := 0; c < k; c++ {
+				if s := dot(vecs[i], centroids[c]); s > bestSim {
+					best, bestSim = c, s
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids as normalized means.
+		for c := 0; c < k; c++ {
+			sum := make(map[string]float64)
+			for i := 0; i < n; i++ {
+				if assign[i] != c {
+					continue
+				}
+				for t, x := range vecs[i] {
+					sum[t] += x
+				}
+			}
+			if len(sum) > 0 {
+				normalize(sum)
+				centroids[c] = sum
+			}
+		}
+	}
+	return assign
+}
+
+func copyVec(v map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(v))
+	for t, x := range v {
+		out[t] = x
+	}
+	return out
+}
+
+// SenseStore holds per-sense keyword packs for ambiguity-aware relevance
+// scoring.
+type SenseStore struct {
+	senses map[string][]Sense
+}
+
+// BuildSenseStore mines senses for every concept.
+func BuildSenseStore(mn *Miner, concepts []string, maxSenses int) *SenseStore {
+	s := &SenseStore{senses: make(map[string][]Sense, len(concepts))}
+	for _, c := range concepts {
+		s.senses[c] = mn.MineSenses(c, maxSenses, 0)
+	}
+	return s
+}
+
+// Senses returns a concept's senses (nil if unknown).
+func (s *SenseStore) Senses(concept string) []Sense { return s.senses[concept] }
+
+// Score returns the relevance of concept in the context as the *maximum*
+// over its senses — the paper's suggested boost: a context matching any one
+// sense strongly counts, instead of being diluted by the other senses'
+// keywords.
+func (s *SenseStore) Score(concept string, contextStems map[string]bool) float64 {
+	best := 0.0
+	for _, sense := range s.senses[concept] {
+		score := 0.0
+		for _, e := range sense.Keywords {
+			if contextStems[e.Term] {
+				score += e.Weight
+			}
+		}
+		if score > best {
+			best = score
+		}
+	}
+	return best
+}

@@ -1,0 +1,304 @@
+// Package searchsim implements the search-engine substrate the paper mines:
+// a positional inverted index over a (synthetic) web corpus, phrase queries
+// with result counts (the searchengine_phrase feature), result snippets (the
+// paper's best relevance-mining resource), Prisma-style pseudo-relevance
+// feedback, and related-query suggestions.
+package searchsim
+
+import (
+	"sort"
+	"strings"
+
+	"contextrank/internal/corpus"
+	"contextrank/internal/textproc"
+)
+
+// Doc is one indexed document.
+type Doc struct {
+	// ID is the document's index in Engine.Docs.
+	ID int
+	// Text is the original text.
+	Text string
+	// Tokens are the normalized word tokens (punctuation removed).
+	Tokens []string
+	// Topic is the generating topic (metadata for tests; -1 if unknown).
+	Topic int
+}
+
+type posting struct {
+	doc       int
+	positions []int32
+}
+
+// Engine is the simulated search engine.
+type Engine struct {
+	Docs []Doc
+
+	postings map[string][]posting
+	dict     *corpus.Dictionary
+}
+
+// NewEngine creates an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		postings: make(map[string][]posting),
+		dict:     corpus.NewDictionary(),
+	}
+}
+
+// Add indexes a document and returns its ID.
+func (e *Engine) Add(text string, topic int) int {
+	tokens := textproc.Words(text)
+	id := len(e.Docs)
+	e.Docs = append(e.Docs, Doc{ID: id, Text: text, Tokens: tokens, Topic: topic})
+	for pos, term := range tokens {
+		ps := e.postings[term]
+		if len(ps) > 0 && ps[len(ps)-1].doc == id {
+			ps[len(ps)-1].positions = append(ps[len(ps)-1].positions, int32(pos))
+		} else {
+			ps = append(ps, posting{doc: id, positions: []int32{int32(pos)}})
+		}
+		e.postings[term] = ps
+	}
+	e.dict.AddDocument(tokens)
+	return id
+}
+
+// NumDocs returns the number of indexed documents.
+func (e *Engine) NumDocs() int { return len(e.Docs) }
+
+// Dictionary returns the term-document-frequency dictionary over the indexed
+// corpus — the stand-in for "all the web documents that are indexed by
+// Yahoo! Search" used by the concept-vector generator.
+func (e *Engine) Dictionary() *corpus.Dictionary { return e.dict }
+
+// Doc returns the document with the given ID, or nil.
+func (e *Engine) Doc(id int) *Doc {
+	if id < 0 || id >= len(e.Docs) {
+		return nil
+	}
+	return &e.Docs[id]
+}
+
+// phraseHit is one document matching a phrase query.
+type phraseHit struct {
+	doc   int
+	count int   // number of phrase occurrences
+	first int32 // position of first occurrence
+}
+
+// phraseSearch returns every document containing the normalized phrase terms
+// contiguously, with occurrence counts, in ascending doc order.
+func (e *Engine) phraseSearch(terms []string) []phraseHit {
+	if len(terms) == 0 {
+		return nil
+	}
+	base := e.postings[terms[0]]
+	if len(base) == 0 {
+		return nil
+	}
+	var hits []phraseHit
+	for _, p := range base {
+		count := 0
+		first := int32(-1)
+		for _, pos := range p.positions {
+			if e.matchAt(p.doc, terms, pos) {
+				count++
+				if first < 0 {
+					first = pos
+				}
+			}
+		}
+		if count > 0 {
+			hits = append(hits, phraseHit{doc: p.doc, count: count, first: first})
+		}
+	}
+	return hits
+}
+
+// matchAt reports whether doc has terms starting at token position pos.
+func (e *Engine) matchAt(doc int, terms []string, pos int32) bool {
+	tokens := e.Docs[doc].Tokens
+	if int(pos)+len(terms) > len(tokens) {
+		return false
+	}
+	for j, t := range terms {
+		if tokens[int(pos)+j] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// ResultCount returns the number of documents matching phrase as an exact
+// phrase query — the paper's interestingness feature (4)
+// searchengine_phrase ("very specific concepts would return fewer results
+// than the more general concepts").
+func (e *Engine) ResultCount(phrase string) int {
+	return len(e.phraseSearch(textproc.Words(phrase)))
+}
+
+// ResultCountAnyOrder returns the number of documents containing all the
+// phrase's terms in any order (a "regular query"). The paper tried this
+// variant and eliminated it during feature selection; it is kept for the
+// ablation benches.
+func (e *Engine) ResultCountAnyOrder(phrase string) int {
+	terms := textproc.Words(phrase)
+	if len(terms) == 0 {
+		return 0
+	}
+	counts := make(map[int]int)
+	seen := make(map[string]bool)
+	distinct := 0
+	for _, t := range terms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		distinct++
+		for _, p := range e.postings[t] {
+			counts[p.doc]++
+		}
+	}
+	n := 0
+	for _, c := range counts {
+		if c == distinct {
+			n++
+		}
+	}
+	return n
+}
+
+// Result is one ranked search result.
+type Result struct {
+	DocID int
+	Score float64
+}
+
+// Search runs a phrase query and returns up to k results ranked by a
+// tf·idf-flavoured score (phrase occurrences weighted by the rarity of the
+// phrase's terms, normalized by document length).
+func (e *Engine) Search(phrase string, k int) []Result {
+	terms := textproc.Words(phrase)
+	hits := e.phraseSearch(terms)
+	if len(hits) == 0 {
+		return nil
+	}
+	idf := 0.0
+	for _, t := range terms {
+		idf += e.dict.IDF(t)
+	}
+	results := make([]Result, 0, len(hits))
+	for _, h := range hits {
+		docLen := len(e.Docs[h.doc].Tokens)
+		if docLen == 0 {
+			continue
+		}
+		score := float64(h.count) * idf / (1 + float64(docLen)/200)
+		results = append(results, Result{DocID: h.doc, Score: score})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].DocID < results[j].DocID
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// SearchAnyTerm runs a bag-of-words (OR) query: documents containing any of
+// the query terms, ranked by summed tf·idf with length normalization. This
+// is the broad retrieval classic pseudo-relevance feedback runs on — and the
+// source of the topic drift that makes feedback terms noisier than
+// phrase-result snippets.
+func (e *Engine) SearchAnyTerm(query string, k int) []Result {
+	terms := textproc.Words(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	scores := make(map[int]float64)
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if seen[t] || textproc.IsStopword(t) {
+			continue
+		}
+		seen[t] = true
+		idf := e.dict.IDF(t)
+		for _, p := range e.postings[t] {
+			docLen := len(e.Docs[p.doc].Tokens)
+			if docLen == 0 {
+				continue
+			}
+			scores[p.doc] += float64(len(p.positions)) * idf / (1 + float64(docLen)/200)
+		}
+	}
+	results := make([]Result, 0, len(scores))
+	for doc, s := range scores {
+		results = append(results, Result{DocID: doc, Score: s})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].DocID < results[j].DocID
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// SnippetWidth is the number of tokens of context on each side of the first
+// phrase occurrence included in a snippet.
+const SnippetWidth = 20
+
+// Snippet builds the result snippet for doc: a window of tokens around the
+// first occurrence of the phrase ("short text strings ... constructed from
+// the result pages by the engine").
+func (e *Engine) Snippet(docID int, phrase string) string {
+	terms := textproc.Words(phrase)
+	d := e.Doc(docID)
+	if d == nil || len(d.Tokens) == 0 {
+		return ""
+	}
+	at := -1
+	for i := 0; i+len(terms) <= len(d.Tokens) && at < 0; i++ {
+		match := len(terms) > 0
+		for j := range terms {
+			if d.Tokens[i+j] != terms[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			at = i
+		}
+	}
+	if at < 0 {
+		at = 0
+	}
+	lo := at - SnippetWidth
+	if lo < 0 {
+		lo = 0
+	}
+	hi := at + len(terms) + SnippetWidth
+	if hi > len(d.Tokens) {
+		hi = len(d.Tokens)
+	}
+	return strings.Join(d.Tokens[lo:hi], " ")
+}
+
+// Snippets returns the snippets of the top-k results for phrase. The paper
+// uses the snippets of the first hundred results as the best resource for
+// relevant-keyword mining.
+func (e *Engine) Snippets(phrase string, k int) []string {
+	results := e.Search(phrase, k)
+	out := make([]string, 0, len(results))
+	for _, r := range results {
+		out = append(out, e.Snippet(r.DocID, phrase))
+	}
+	return out
+}

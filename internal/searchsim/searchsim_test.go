@@ -1,0 +1,241 @@
+package searchsim
+
+import (
+	"strings"
+	"testing"
+
+	"contextrank/internal/querylog"
+	"contextrank/internal/world"
+)
+
+func smallEngine() *Engine {
+	e := NewEngine()
+	e.Add("The Iraq war continued as troops advanced on the capital.", 0)
+	e.Add("Iraq war veterans returned home after the long war.", 0)
+	e.Add("The election debate covered policy and the economy.", 1)
+	e.Add("War movies about the Iraq war were released.", 0)
+	e.Add("Cuba policy under the embargo remained unchanged.", 1)
+	return e
+}
+
+func TestResultCountPhrase(t *testing.T) {
+	e := smallEngine()
+	if got := e.ResultCount("iraq war"); got != 3 {
+		t.Fatalf("ResultCount(iraq war) = %d, want 3", got)
+	}
+	if got := e.ResultCount("war iraq"); got != 0 {
+		t.Fatalf("reversed phrase should not match, got %d", got)
+	}
+	if got := e.ResultCount("missing phrase"); got != 0 {
+		t.Fatalf("missing phrase count = %d", got)
+	}
+	if got := e.ResultCount(""); got != 0 {
+		t.Fatalf("empty phrase count = %d", got)
+	}
+}
+
+func TestResultCountAnyOrder(t *testing.T) {
+	e := smallEngine()
+	// "war iraq" out of order still matches docs containing both.
+	if got := e.ResultCountAnyOrder("war iraq"); got != 3 {
+		t.Fatalf("any-order count = %d, want 3", got)
+	}
+	if phrase, free := e.ResultCount("war iraq"), e.ResultCountAnyOrder("war iraq"); phrase > free {
+		t.Fatal("phrase count can never exceed any-order count")
+	}
+}
+
+func TestSearchRanking(t *testing.T) {
+	e := smallEngine()
+	results := e.Search("iraq war", 10)
+	if len(results) != 3 {
+		t.Fatalf("Search returned %d results", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i-1].Score < results[i].Score {
+			t.Fatal("results not sorted by score")
+		}
+	}
+	if got := e.Search("iraq war", 2); len(got) != 2 {
+		t.Fatalf("k limit not applied: %d", len(got))
+	}
+}
+
+func TestSnippetContainsPhrase(t *testing.T) {
+	e := smallEngine()
+	results := e.Search("iraq war", 1)
+	snip := e.Snippet(results[0].DocID, "iraq war")
+	if !strings.Contains(snip, "iraq war") {
+		t.Fatalf("snippet %q missing phrase", snip)
+	}
+}
+
+func TestSnippetsCount(t *testing.T) {
+	e := smallEngine()
+	snips := e.Snippets("iraq war", 100)
+	if len(snips) != 3 {
+		t.Fatalf("Snippets = %d, want 3", len(snips))
+	}
+	for _, s := range snips {
+		if s == "" {
+			t.Fatal("empty snippet")
+		}
+	}
+}
+
+func TestSnippetBadDoc(t *testing.T) {
+	e := smallEngine()
+	if got := e.Snippet(-1, "x"); got != "" {
+		t.Fatalf("bad doc snippet = %q", got)
+	}
+	if got := e.Snippet(999, "x"); got != "" {
+		t.Fatalf("bad doc snippet = %q", got)
+	}
+}
+
+func TestDictionaryBuilt(t *testing.T) {
+	e := smallEngine()
+	if e.Dictionary().NumDocs() != 5 {
+		t.Fatalf("dictionary docs = %d", e.Dictionary().NumDocs())
+	}
+	if e.Dictionary().DocFreq("war") != 3 {
+		t.Fatalf("df(war) = %d", e.Dictionary().DocFreq("war"))
+	}
+}
+
+func testWorldCorpus(t testing.TB) (*world.World, *Engine) {
+	w := world.New(world.Config{Seed: 31, VocabSize: 1500, NumTopics: 8, NumConcepts: 150})
+	e := BuildCorpus(w, CorpusConfig{Seed: 32, MaxDocsPerConcept: 20})
+	return w, e
+}
+
+// Structural property for feature (4): more general concepts (low
+// specificity) must on average return more results.
+func TestGeneralConceptsReturnMoreResults(t *testing.T) {
+	w, e := testWorldCorpus(t)
+	var generalSum, generalN, specificSum, specificN float64
+	for i := range w.Concepts {
+		c := &w.Concepts[i]
+		n := float64(e.ResultCount(c.Name))
+		if c.Specificity < 0.3 {
+			generalSum += n
+			generalN++
+		} else if c.Specificity > 0.7 {
+			specificSum += n
+			specificN++
+		}
+	}
+	if generalN == 0 || specificN == 0 {
+		t.Skip("world lacks extremes")
+	}
+	if generalSum/generalN <= specificSum/specificN {
+		t.Fatalf("general avg %.1f should exceed specific avg %.1f",
+			generalSum/generalN, specificSum/specificN)
+	}
+}
+
+// Every concept must be findable: the corpus generator guarantees at least
+// one document per concept.
+func TestEveryConceptHasResults(t *testing.T) {
+	w, e := testWorldCorpus(t)
+	for i := range w.Concepts {
+		c := &w.Concepts[i]
+		if e.ResultCount(c.Name) == 0 {
+			t.Errorf("concept %q has no results", c.Name)
+		}
+	}
+}
+
+func TestPrismaFeedback(t *testing.T) {
+	w, e := testWorldCorpus(t)
+	p := NewPrisma(e)
+	var c *world.Concept
+	for i := range w.Concepts {
+		if w.Concepts[i].Specificity > 0.7 && w.Concepts[i].Quality > 0.6 {
+			c = &w.Concepts[i]
+			break
+		}
+	}
+	if c == nil {
+		t.Skip("no specific concept")
+	}
+	fb := p.Feedback(c.Name)
+	if len(fb) == 0 {
+		t.Fatal("no feedback terms")
+	}
+	if len(fb) > PrismaFeedbackLimit {
+		t.Fatalf("feedback exceeds Prisma cap: %d", len(fb))
+	}
+	for i := 1; i < len(fb); i++ {
+		if fb[i-1].Weight < fb[i].Weight {
+			t.Fatal("feedback not sorted")
+		}
+	}
+	// Query terms themselves must not be suggested back.
+	for _, entry := range fb {
+		for _, qt := range strings.Fields(c.Name) {
+			if entry.Term == qt {
+				t.Fatalf("feedback contains query term %q", qt)
+			}
+		}
+	}
+}
+
+func TestSuggestor(t *testing.T) {
+	w, _ := testWorldCorpus(t)
+	log := querylog.Generate(w, querylog.Config{Seed: 33})
+	s := NewSuggestor(log)
+	// Pick a popular multi-term concept: its name appears in many variants.
+	var c *world.Concept
+	for i := range w.Concepts {
+		cc := &w.Concepts[i]
+		if cc.Interest > 0.5 && len(cc.Terms) >= 2 {
+			c = cc
+			break
+		}
+	}
+	if c == nil {
+		t.Skip("no hot concept")
+	}
+	suggestions := s.Suggest(c.Name, 0)
+	if len(suggestions) == 0 {
+		t.Fatalf("no suggestions for %q", c.Name)
+	}
+	if len(suggestions) > SuggestionLimit {
+		t.Fatalf("more than %d suggestions", SuggestionLimit)
+	}
+	for _, sg := range suggestions {
+		if sg.Text == c.Name {
+			t.Fatal("suggestion equals the query itself")
+		}
+		if sg.Freq <= 0 {
+			t.Fatalf("non-positive frequency: %+v", sg)
+		}
+	}
+	// Phrase-containing suggestions must come first.
+	if !strings.Contains(suggestions[0].Text, c.Terms[0]) {
+		t.Logf("first suggestion %q does not share first term (allowed but unusual)", suggestions[0].Text)
+	}
+}
+
+func TestSuggestLimits(t *testing.T) {
+	log := querylog.FromCounts(map[string]int{
+		"alpha beta": 10, "alpha beta gamma": 5, "alpha": 3, "delta": 2,
+	})
+	s := NewSuggestor(log)
+	if got := s.Suggest("alpha beta", 1); len(got) != 1 {
+		t.Fatalf("max=1 returned %d", len(got))
+	}
+	if got := s.Suggest("", 0); got != nil {
+		t.Fatalf("empty query suggestions = %v", got)
+	}
+}
+
+func BenchmarkPhraseSearch(b *testing.B) {
+	w, e := testWorldCorpus(b)
+	name := w.Concepts[len(w.Concepts)/2].Name
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ResultCount(name)
+	}
+}

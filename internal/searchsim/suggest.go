@@ -1,0 +1,126 @@
+package searchsim
+
+import (
+	"sort"
+	"strings"
+
+	"contextrank/internal/querylog"
+	"contextrank/internal/textproc"
+)
+
+// Suggestion is one related-query suggestion with its weekly query
+// frequency ("We also obtain the query frequencies of the suggestions").
+type Suggestion struct {
+	Text string
+	Freq int
+}
+
+// SuggestionLimit is the maximum number of suggestions returned per query
+// ("we submit the concept ci to this service and obtain up to 300
+// suggestions").
+const SuggestionLimit = 300
+
+// Suggestor is the related-query-suggestion service, the paper's third
+// relevance-mining resource (obtained in production from the Yahoo!
+// Developer Network). Suggestions are log queries that contain the submitted
+// concept as a phrase, or failing enough of those, queries sharing a
+// non-stop term with it, ranked by frequency.
+type Suggestor struct {
+	log *querylog.Log
+}
+
+// NewSuggestor builds a suggestion service over the query log.
+func NewSuggestor(l *querylog.Log) *Suggestor { return &Suggestor{log: l} }
+
+// Suggest returns up to max (or SuggestionLimit if max <= 0) suggestions for
+// query, most frequent first, ties broken by text. The query itself is not
+// included.
+func (s *Suggestor) Suggest(query string, max int) []Suggestion {
+	if max <= 0 || max > SuggestionLimit {
+		max = SuggestionLimit
+	}
+	qTerms := textproc.Words(query)
+	if len(qTerms) == 0 {
+		return nil
+	}
+	qText := strings.Join(qTerms, " ")
+
+	seen := make(map[int]bool)
+	var phraseMatches, termMatches []int
+	for _, idx := range s.log.QueriesContaining(qTerms[0]) {
+		q := s.log.Query(idx)
+		if q.Text == qText {
+			continue
+		}
+		if containsPhrase(q.Terms, qTerms) {
+			phraseMatches = append(phraseMatches, idx)
+			seen[idx] = true
+		}
+	}
+	// Fall back to shared-term matches to fill the budget.
+	for _, t := range qTerms {
+		if textproc.IsStopword(t) {
+			continue
+		}
+		for _, idx := range s.log.QueriesContaining(t) {
+			if seen[idx] {
+				continue
+			}
+			q := s.log.Query(idx)
+			if q.Text == qText {
+				continue
+			}
+			seen[idx] = true
+			termMatches = append(termMatches, idx)
+		}
+	}
+
+	build := func(idxs []int) []Suggestion {
+		out := make([]Suggestion, 0, len(idxs))
+		for _, idx := range idxs {
+			q := s.log.Query(idx)
+			out = append(out, Suggestion{Text: q.Text, Freq: q.Freq})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Freq != out[j].Freq {
+				return out[i].Freq > out[j].Freq
+			}
+			return out[i].Text < out[j].Text
+		})
+		return out
+	}
+	suggestions := build(phraseMatches)
+	if len(suggestions) < max {
+		rest := build(termMatches)
+		need := max - len(suggestions)
+		if len(rest) > need {
+			rest = rest[:need]
+		}
+		suggestions = append(suggestions, rest...)
+	}
+	if len(suggestions) > max {
+		suggestions = suggestions[:max]
+	}
+	return suggestions
+}
+
+// containsPhrase reports whether hay contains needle contiguously (shared
+// with the query log's phrase matcher semantics).
+func containsPhrase(hay, needle []string) bool {
+	if len(needle) > len(hay) {
+		return false
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		match := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

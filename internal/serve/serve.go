@@ -1,0 +1,233 @@
+// Package serve exposes the annotation runtime over HTTP — the content
+// syndication surface of Contextual Shortcuts ("a framework for entity
+// detection and content syndication ... successfully deployed on various
+// Yahoo! network properties"). Publishers POST documents and receive
+// ranked annotations as JSON, or the fully annotated HTML with shortcut
+// overlays.
+//
+// Endpoints:
+//
+//	POST /v1/annotate     {"text": "...", "html": false, "top": 3}
+//	POST /v1/render       same body; responds with annotated HTML
+//	GET  /v1/concepts?q=  concept inventory lookup (features + keywords)
+//	GET  /healthz         liveness
+//	GET  /statz           processing counters and throughput
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"contextrank/internal/annotate"
+	"contextrank/internal/detect"
+	"contextrank/internal/framework"
+	"contextrank/internal/textproc"
+)
+
+// MaxDocumentBytes bounds request bodies: the production system processes
+// web pages, not bulk corpora, per request.
+const MaxDocumentBytes = 1 << 20
+
+// Server wires the runtime and renderer behind an http.Handler.
+type Server struct {
+	Runtime  *framework.Runtime
+	Renderer *annotate.Renderer
+	// DefaultTop is used when a request omits "top". Default 5.
+	DefaultTop int
+
+	requests atomic.Int64
+	docBytes atomic.Int64
+}
+
+// NewServer builds a server around a runtime. renderer may be nil, which
+// disables /v1/render.
+func NewServer(rt *framework.Runtime, renderer *annotate.Renderer) *Server {
+	return &Server{Runtime: rt, Renderer: renderer, DefaultTop: 5}
+}
+
+// Handler returns the routed handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/annotate", s.handleAnnotate)
+	mux.HandleFunc("POST /v1/render", s.handleRender)
+	mux.HandleFunc("GET /v1/concepts", s.handleConcepts)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /statz", s.handleStats)
+	return mux
+}
+
+// AnnotateRequest is the JSON request body of /v1/annotate and /v1/render.
+type AnnotateRequest struct {
+	// Text is the document (plain text, or HTML when HTML is true).
+	Text string `json:"text"`
+	// HTML strips markup before detection.
+	HTML bool `json:"html,omitempty"`
+	// Top keeps the top-N distinct concepts (0 = server default, -1 = all).
+	Top int `json:"top,omitempty"`
+}
+
+// AnnotationJSON is one annotation in the response.
+type AnnotationJSON struct {
+	Text      string  `json:"text"`
+	Concept   string  `json:"concept"`
+	Kind      string  `json:"kind"`
+	Type      string  `json:"type,omitempty"`
+	Subtype   string  `json:"subtype,omitempty"`
+	Score     float64 `json:"score"`
+	Relevance float64 `json:"relevance"`
+	Start     int     `json:"start"`
+	End       int     `json:"end"`
+}
+
+// AnnotateResponse is the JSON response of /v1/annotate.
+type AnnotateResponse struct {
+	// Text is the plain text the offsets refer to (differs from the input
+	// when HTML was stripped).
+	Text        string           `json:"text"`
+	Annotations []AnnotationJSON `json:"annotations"`
+}
+
+// decode parses and validates the request body.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request) (AnnotateRequest, string, bool) {
+	var req AnnotateRequest
+	body := http.MaxBytesReader(w, r.Body, MaxDocumentBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return req, "", false
+	}
+	if req.Text == "" {
+		http.Error(w, "bad request: empty text", http.StatusBadRequest)
+		return req, "", false
+	}
+	text := req.Text
+	if req.HTML {
+		text = textproc.StripHTML(text)
+	}
+	return req, text, true
+}
+
+func (s *Server) top(req AnnotateRequest) int {
+	switch {
+	case req.Top < 0:
+		return 0 // all
+	case req.Top == 0:
+		return s.DefaultTop
+	default:
+		return req.Top
+	}
+}
+
+func (s *Server) annotate(text string, top int) []framework.Annotation {
+	s.requests.Add(1)
+	s.docBytes.Add(int64(len(text)))
+	return s.Runtime.Annotate(text, top)
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	req, text, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	anns := s.annotate(text, s.top(req))
+	resp := AnnotateResponse{Text: text, Annotations: make([]AnnotationJSON, 0, len(anns))}
+	for _, a := range anns {
+		aj := AnnotationJSON{
+			Text:      a.Detection.Text,
+			Concept:   a.Detection.Norm,
+			Kind:      a.Detection.Kind.String(),
+			Score:     a.Score,
+			Relevance: a.Relevance,
+			Start:     a.Detection.Start,
+			End:       a.Detection.End,
+		}
+		if a.Detection.Kind == detect.KindPattern {
+			aj.Type = a.Detection.PatternType
+		} else if a.Detection.Entry != nil {
+			aj.Type = a.Detection.Entry.Type.String()
+			aj.Subtype = a.Detection.Entry.Subtype
+		}
+		resp.Annotations = append(resp.Annotations, aj)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	if s.Renderer == nil {
+		http.Error(w, "rendering not configured", http.StatusNotImplemented)
+		return
+	}
+	req, text, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if req.HTML {
+		// Annotate the original markup in place: strip with an offset map,
+		// detect on the plain text, splice shortcut spans back into the
+		// publisher's HTML.
+		res := textproc.StripHTMLMapped(req.Text)
+		anns := s.annotate(res.Text, s.top(req))
+		fmt.Fprint(w, s.Renderer.RenderSource(req.Text, res, anns))
+		return
+	}
+	anns := s.annotate(text, s.top(req))
+	fmt.Fprint(w, s.Renderer.Render(text, anns))
+}
+
+// ConceptInfo is the /v1/concepts response.
+type ConceptInfo struct {
+	Concept   string   `json:"concept"`
+	Known     bool     `json:"known"`
+	Keywords  []string `json:"keywords,omitempty"`
+	PackBytes int      `json:"pack_bytes"`
+}
+
+func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
+	q := textproc.Normalize(r.URL.Query().Get("q"))
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	info := ConceptInfo{Concept: q}
+	if _, ok := s.Runtime.Interest.Fields(q); ok {
+		info.Known = true
+		info.PackBytes = s.Runtime.Packs.BytesFor(q)
+		for i, e := range s.Runtime.Packs.Keywords(q) {
+			if i == 10 {
+				break
+			}
+			info.Keywords = append(info.Keywords, e.Term)
+		}
+	}
+	writeJSON(w, info)
+}
+
+// Stats is the /statz response.
+type Stats struct {
+	Requests      int64   `json:"requests"`
+	DocumentBytes int64   `json:"document_bytes"`
+	StemMBps      float64 `json:"stem_mbps"`
+	RankMBps      float64 `json:"rank_mbps"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	stem, rank := s.Runtime.Throughput()
+	writeJSON(w, Stats{
+		Requests:      s.requests.Load(),
+		DocumentBytes: s.docBytes.Load(),
+		StemMBps:      stem,
+		RankMBps:      rank,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,213 @@
+// Package taxonomy implements the editorially-reviewed entity dictionaries
+// of Contextual Shortcuts: "categorized terms and phrases according to a
+// pre-defined taxonomy ... a handful major types, such as people,
+// organizations, places, events, animals, products, and each of these major
+// types contains a large number of subtypes". Named entities are detected by
+// dictionary lookup; ambiguous terms ("jaguar") carry multiple entries and
+// are disambiguated downstream. Location entries carry geo metadata in their
+// data-packs.
+package taxonomy
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"contextrank/internal/world"
+)
+
+// Entry is one dictionary record for a phrase under one type.
+type Entry struct {
+	// Phrase is the lower-case dictionary phrase.
+	Phrase string
+	// Type is the major taxonomy type.
+	Type world.EntityType
+	// Subtype refines the type ("actor", "city", ...).
+	Subtype string
+	// Geo carries longitude/latitude metadata for places ("In the case of
+	// locations, the meta-data contained geo-location information").
+	Geo *GeoPoint
+}
+
+// GeoPoint is a longitude/latitude pair.
+type GeoPoint struct {
+	Lon, Lat float64
+}
+
+// Dictionary is the in-memory data-pack of editorial entries, pre-loaded
+// "to allow for high-performance entity detection".
+type Dictionary struct {
+	entries map[string][]Entry // phrase -> entries (multiple when ambiguous)
+	byFirst map[string][]string
+	maxLen  int
+}
+
+// Build constructs the dictionary from the world's typed concepts. An
+// ambiguous concept (two senses) receives a second entry under a different
+// type, mirroring "it is possible that a named entity can be a member of
+// multiple types, such as the term jaguar".
+func Build(w *world.World, seed int64) *Dictionary {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dictionary{
+		entries: make(map[string][]Entry),
+		byFirst: make(map[string][]string),
+	}
+	for i := range w.Concepts {
+		c := &w.Concepts[i]
+		if c.Type == world.TypeNone {
+			continue
+		}
+		e := Entry{Phrase: c.Name, Type: c.Type, Subtype: c.Subtype}
+		if c.Type == world.TypePlace {
+			e.Geo = &GeoPoint{
+				Lon: -180 + 360*rng.Float64(),
+				Lat: -90 + 180*rng.Float64(),
+			}
+		}
+		d.add(e)
+		if c.Ambiguous() {
+			alt := altType(c.Type)
+			d.add(Entry{Phrase: c.Name, Type: alt, Subtype: firstSubtype(alt)})
+		}
+	}
+	d.buildIndex()
+	return d
+}
+
+// altType picks a deterministic different type for an ambiguous entry.
+func altType(t world.EntityType) world.EntityType {
+	if t == world.TypeAnimal {
+		return world.TypeProduct // the jaguar case
+	}
+	return world.TypeAnimal
+}
+
+func firstSubtype(t world.EntityType) string {
+	switch t {
+	case world.TypePerson:
+		return "actor"
+	case world.TypePlace:
+		return "city"
+	case world.TypeOrganization:
+		return "company"
+	case world.TypeProduct:
+		return "gadget"
+	case world.TypeEvent:
+		return "festival"
+	case world.TypeAnimal:
+		return "mammal"
+	}
+	return ""
+}
+
+func (d *Dictionary) add(e Entry) {
+	d.entries[e.Phrase] = append(d.entries[e.Phrase], e)
+}
+
+func (d *Dictionary) buildIndex() {
+	for phrase := range d.entries {
+		terms := strings.Fields(phrase)
+		if len(terms) == 0 {
+			continue
+		}
+		d.byFirst[terms[0]] = append(d.byFirst[terms[0]], phrase)
+		if len(terms) > d.maxLen {
+			d.maxLen = len(terms)
+		}
+	}
+	for first := range d.byFirst {
+		ps := d.byFirst[first]
+		sort.Slice(ps, func(i, j int) bool {
+			li, lj := strings.Count(ps[i], " "), strings.Count(ps[j], " ")
+			if li != lj {
+				return li > lj
+			}
+			return ps[i] < ps[j]
+		})
+	}
+}
+
+// NumPhrases returns the number of distinct dictionary phrases.
+func (d *Dictionary) NumPhrases() int { return len(d.entries) }
+
+// Lookup returns the entries for the exact phrase (nil if absent). Multiple
+// entries signal an ambiguous phrase.
+func (d *Dictionary) Lookup(phrase string) []Entry { return d.entries[phrase] }
+
+// HighLevelType returns the major type of the phrase's first entry, or
+// TypeNone — this backs the paper's interestingness feature (8)
+// high_level_type.
+func (d *Dictionary) HighLevelType(phrase string) world.EntityType {
+	es := d.entries[phrase]
+	if len(es) == 0 {
+		return world.TypeNone
+	}
+	return es[0].Type
+}
+
+// Match is one dictionary phrase occurrence in a token sequence.
+type Match struct {
+	// Phrase is the matched dictionary phrase.
+	Phrase string
+	// Entries are the dictionary entries for the phrase.
+	Entries []Entry
+	// Start and End are token indexes ([Start,End)).
+	Start, End int
+}
+
+// FindInTokens scans normalized tokens for dictionary phrases,
+// greedy-longest at each position.
+func (d *Dictionary) FindInTokens(tokens []string) []Match {
+	var out []Match
+	for i := 0; i < len(tokens); i++ {
+		for _, phrase := range d.byFirst[tokens[i]] {
+			terms := strings.Fields(phrase)
+			if i+len(terms) > len(tokens) {
+				continue
+			}
+			ok := true
+			for j, term := range terms {
+				if tokens[i+j] != term {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, Match{
+					Phrase:  phrase,
+					Entries: d.entries[phrase],
+					Start:   i,
+					End:     i + len(terms),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Disambiguate selects the best entry for a match given the surrounding
+// normalized context tokens. The heuristic scores each entry's type by
+// co-occurrence of type-indicative dictionary neighbours: entries whose type
+// appears more among unambiguous dictionary matches in the context win; on a
+// tie the first (editorially primary) entry is kept.
+func (d *Dictionary) Disambiguate(m Match, context []string) Entry {
+	if len(m.Entries) == 1 {
+		return m.Entries[0]
+	}
+	typeVotes := make(map[world.EntityType]int)
+	for _, cm := range d.FindInTokens(context) {
+		if cm.Phrase == m.Phrase || len(cm.Entries) != 1 {
+			continue
+		}
+		typeVotes[cm.Entries[0].Type]++
+	}
+	best := m.Entries[0]
+	bestVotes := typeVotes[best.Type]
+	for _, e := range m.Entries[1:] {
+		if v := typeVotes[e.Type]; v > bestVotes {
+			best, bestVotes = e, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,128 @@
+package taxonomy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"contextrank/internal/world"
+)
+
+// The paper's named-entity detection runs off "editorially reviewed
+// dictionaries" shipped as data-packs. This file gives the dictionary a
+// human-editable interchange format so editorial teams can maintain it
+// outside the binary: one entry per line,
+//
+//	phrase<TAB>type<TAB>subtype[<TAB>lon,lat]
+//
+// with '#' comments and blank lines ignored. Ambiguous phrases simply
+// appear on multiple lines.
+
+// typeByName reverses world.EntityType.String().
+var typeByName = map[string]world.EntityType{
+	"person":       world.TypePerson,
+	"place":        world.TypePlace,
+	"organization": world.TypeOrganization,
+	"product":      world.TypeProduct,
+	"event":        world.TypeEvent,
+	"animal":       world.TypeAnimal,
+}
+
+// WriteTSV serializes the dictionary, entries sorted by phrase then type,
+// so the output is diff-friendly for editorial review.
+func (d *Dictionary) WriteTSV(w io.Writer) error {
+	phrases := make([]string, 0, len(d.entries))
+	for p := range d.entries {
+		phrases = append(phrases, p)
+	}
+	sort.Strings(phrases)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# phrase\ttype\tsubtype\t[lon,lat]")
+	for _, phrase := range phrases {
+		entries := append([]Entry(nil), d.entries[phrase]...)
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Type < entries[j].Type })
+		for _, e := range entries {
+			if e.Geo != nil {
+				fmt.Fprintf(bw, "%s\t%s\t%s\t%g,%g\n", e.Phrase, e.Type, e.Subtype, e.Geo.Lon, e.Geo.Lat)
+			} else {
+				fmt.Fprintf(bw, "%s\t%s\t%s\n", e.Phrase, e.Type, e.Subtype)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses a dictionary data-pack written by WriteTSV (or by hand).
+// Malformed lines fail with their line number so editorial errors are easy
+// to locate.
+func ReadTSV(r io.Reader) (*Dictionary, error) {
+	d := &Dictionary{
+		entries: make(map[string][]Entry),
+		byFirst: make(map[string][]string),
+	}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("taxonomy: line %d: want at least 3 tab-separated fields, got %d", lineNo, len(fields))
+		}
+		phrase := strings.ToLower(strings.TrimSpace(fields[0]))
+		if phrase == "" {
+			return nil, fmt.Errorf("taxonomy: line %d: empty phrase", lineNo)
+		}
+		typ, ok := typeByName[strings.TrimSpace(fields[1])]
+		if !ok {
+			return nil, fmt.Errorf("taxonomy: line %d: unknown type %q", lineNo, fields[1])
+		}
+		e := Entry{Phrase: phrase, Type: typ, Subtype: strings.TrimSpace(fields[2])}
+		if len(fields) >= 4 && strings.TrimSpace(fields[3]) != "" {
+			geo, err := parseGeo(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("taxonomy: line %d: %v", lineNo, err)
+			}
+			e.Geo = geo
+		}
+		// Reject exact duplicates (same phrase+type), which would make
+		// disambiguation votes double-count.
+		for _, prev := range d.entries[phrase] {
+			if prev.Type == e.Type {
+				return nil, fmt.Errorf("taxonomy: line %d: duplicate entry %q/%s", lineNo, phrase, e.Type)
+			}
+		}
+		d.add(e)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("taxonomy: read: %w", err)
+	}
+	d.buildIndex()
+	return d, nil
+}
+
+func parseGeo(s string) (*GeoPoint, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad geo %q", s)
+	}
+	lon, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad longitude %q", parts[0])
+	}
+	lat, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad latitude %q", parts[1])
+	}
+	if lon < -180 || lon > 180 || lat < -90 || lat > 90 {
+		return nil, fmt.Errorf("geo out of range: %g,%g", lon, lat)
+	}
+	return &GeoPoint{Lon: lon, Lat: lat}, nil
+}

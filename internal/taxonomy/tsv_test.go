@@ -1,0 +1,110 @@
+package taxonomy
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"contextrank/internal/world"
+)
+
+func TestTSVRoundtrip(t *testing.T) {
+	w := world.New(world.Config{Seed: 221, VocabSize: 1200, NumTopics: 8, NumConcepts: 200, AmbiguousFraction: 0.2})
+	d := Build(w, 222)
+
+	var buf bytes.Buffer
+	if err := d.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPhrases() != d.NumPhrases() {
+		t.Fatalf("phrases %d != %d", got.NumPhrases(), d.NumPhrases())
+	}
+	for phrase, want := range d.entries {
+		ge := got.Lookup(phrase)
+		if len(ge) != len(want) {
+			t.Fatalf("%q: %d entries != %d", phrase, len(ge), len(want))
+		}
+		// Compare as sets over (type, subtype, geo).
+		for _, we := range want {
+			found := false
+			for _, g := range ge {
+				if g.Type == we.Type && g.Subtype == we.Subtype && reflect.DeepEqual(g.Geo, we.Geo) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%q: entry %+v lost in roundtrip", phrase, we)
+			}
+		}
+	}
+}
+
+func TestTSVDeterministicOutput(t *testing.T) {
+	w := world.New(world.Config{Seed: 223, VocabSize: 800, NumTopics: 6, NumConcepts: 80})
+	d := Build(w, 224)
+	var b1, b2 bytes.Buffer
+	if err := d.WriteTSV(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteTSV(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("WriteTSV not deterministic")
+	}
+}
+
+func TestReadTSVHandEdited(t *testing.T) {
+	src := `# editorial data-pack
+jaguar	animal	mammal
+jaguar	product	vehicle
+
+springfield	place	city	-89.65,39.78
+new york city	place	city	-74.0,40.7
+`
+	d, err := ReadTSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Lookup("jaguar"); len(got) != 2 {
+		t.Fatalf("jaguar entries = %d", len(got))
+	}
+	sp := d.Lookup("springfield")
+	if len(sp) != 1 || sp[0].Geo == nil || sp[0].Geo.Lat != 39.78 {
+		t.Fatalf("springfield = %+v", sp)
+	}
+	// Detection works off the loaded pack.
+	ms := d.FindInTokens([]string{"visit", "new", "york", "city", "zoo"})
+	if len(ms) == 0 || ms[0].Phrase != "new york city" {
+		t.Fatalf("FindInTokens = %+v", ms)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields":  "onlyphrase\tperson\n",
+		"unknown type":    "x\twizard\tmage\n",
+		"empty phrase":    "\tperson\tactor\n",
+		"bad geo":         "x\tplace\tcity\tnotageo\n",
+		"geo range":       "x\tplace\tcity\t500,10\n",
+		"duplicate entry": "x\tperson\tactor\nx\tperson\tmusician\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadTSV(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadTSVLineNumbersInErrors(t *testing.T) {
+	src := "ok\tperson\tactor\nbroken line here\n"
+	_, err := ReadTSV(strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should name line 2: %v", err)
+	}
+}

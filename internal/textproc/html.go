@@ -1,0 +1,113 @@
+package textproc
+
+import "strings"
+
+// StripHTML removes tags, comments, scripts, styles and decodes the common
+// HTML entities, returning plain text suitable for the tokenizer. Block-level
+// closing tags are replaced with paragraph breaks so downstream boundary
+// detection still sees document structure.
+func StripHTML(html string) string {
+	var b strings.Builder
+	b.Grow(len(html))
+	i := 0
+	for i < len(html) {
+		c := html[i]
+		if c != '<' {
+			i = writeEntityOrByte(&b, html, i)
+			continue
+		}
+		// Comments.
+		if strings.HasPrefix(html[i:], "<!--") {
+			end := strings.Index(html[i+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i += 4 + end + 3
+			continue
+		}
+		// Find the end of the tag.
+		end := strings.IndexByte(html[i:], '>')
+		if end < 0 {
+			break
+		}
+		tag := html[i+1 : i+end]
+		i += end + 1
+		name := tagName(tag)
+		switch name {
+		case "script", "style":
+			// Skip to the matching close tag.
+			closer := "</" + name
+			rest := strings.Index(strings.ToLower(html[i:]), closer)
+			if rest < 0 {
+				i = len(html)
+				continue
+			}
+			i += rest
+			gt := strings.IndexByte(html[i:], '>')
+			if gt < 0 {
+				i = len(html)
+				continue
+			}
+			i += gt + 1
+		case "p", "div", "br", "li", "tr", "h1", "h2", "h3", "h4", "h5", "h6", "blockquote", "section", "article":
+			b.WriteString("\n\n")
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+// tagName extracts the lower-case element name from the inside of a tag,
+// dropping a leading slash and any attributes.
+func tagName(tag string) string {
+	tag = strings.TrimSpace(tag)
+	tag = strings.TrimPrefix(tag, "/")
+	for j := 0; j < len(tag); j++ {
+		c := tag[j]
+		if c == ' ' || c == '\t' || c == '\n' || c == '/' || c == '>' {
+			tag = tag[:j]
+			break
+		}
+	}
+	return strings.ToLower(tag)
+}
+
+var entities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": "\"", "apos": "'",
+	"nbsp": " ", "mdash": "—", "ndash": "–", "hellip": "…",
+	"lsquo": "'", "rsquo": "'", "ldquo": "\"", "rdquo": "\"",
+}
+
+// writeEntityOrByte writes the decoded entity starting at i, or the single
+// byte if no entity matches, returning the new index.
+func writeEntityOrByte(b *strings.Builder, s string, i int) int {
+	if s[i] == '&' {
+		semi := strings.IndexByte(s[i:], ';')
+		if semi > 1 && semi <= 8 {
+			name := s[i+1 : i+semi]
+			if rep, ok := entities[name]; ok {
+				b.WriteString(rep)
+				return i + semi + 1
+			}
+			if len(name) > 1 && name[0] == '#' {
+				// Numeric entity: decode decimal code points in the BMP.
+				n := 0
+				ok := true
+				for _, d := range name[1:] {
+					if d < '0' || d > '9' {
+						ok = false
+						break
+					}
+					n = n*10 + int(d-'0')
+				}
+				if ok && n > 0 && n < 0x10000 {
+					b.WriteRune(rune(n))
+					return i + semi + 1
+				}
+			}
+		}
+	}
+	b.WriteByte(s[i])
+	return i + 1
+}

@@ -1,0 +1,142 @@
+package textproc
+
+import "strings"
+
+// StripResult is the offset-preserving form of StripHTML: production
+// annotation must wrap spans in the *original* markup, so every byte of the
+// stripped text remembers where it came from.
+type StripResult struct {
+	// Text is the stripped plain text (same content StripHTML produces).
+	Text string
+	// srcOffsets[i] is the byte offset in the original HTML of Text[i].
+	// Synthetic bytes (entity expansions, inserted paragraph breaks) map to
+	// the offset of the construct that produced them.
+	srcOffsets []int
+}
+
+// SourceOffset maps an offset in the stripped text back into the original
+// HTML. Out-of-range inputs are clamped.
+func (r *StripResult) SourceOffset(textOff int) int {
+	if len(r.srcOffsets) == 0 {
+		return 0
+	}
+	if textOff < 0 {
+		textOff = 0
+	}
+	if textOff >= len(r.srcOffsets) {
+		// One past the end maps one past the last source byte.
+		return r.srcOffsets[len(r.srcOffsets)-1] + 1
+	}
+	return r.srcOffsets[textOff]
+}
+
+// SourceSpan maps a [start,end) span of the stripped text to a source span
+// covering the same content in the original HTML.
+func (r *StripResult) SourceSpan(start, end int) (int, int) {
+	lo := r.SourceOffset(start)
+	hi := lo
+	if end > start {
+		hi = r.SourceOffset(end-1) + 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// StripHTMLMapped strips tags like StripHTML while recording, for every
+// output byte, the input offset it came from.
+func StripHTMLMapped(html string) *StripResult {
+	res := &StripResult{srcOffsets: make([]int, 0, len(html))}
+	var b strings.Builder
+	b.Grow(len(html))
+	emit := func(s string, src int) {
+		b.WriteString(s)
+		for k := 0; k < len(s); k++ {
+			res.srcOffsets = append(res.srcOffsets, src)
+		}
+	}
+	i := 0
+	for i < len(html) {
+		c := html[i]
+		if c != '<' {
+			next, decoded, raw := decodeEntityAt(html, i)
+			if decoded != "" {
+				emit(decoded, i)
+				i = next
+			} else {
+				emit(raw, i)
+				i = next
+			}
+			continue
+		}
+		if strings.HasPrefix(html[i:], "<!--") {
+			end := strings.Index(html[i+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i += 4 + end + 3
+			continue
+		}
+		end := strings.IndexByte(html[i:], '>')
+		if end < 0 {
+			break
+		}
+		tag := html[i+1 : i+end]
+		tagStart := i
+		i += end + 1
+		name := tagName(tag)
+		switch name {
+		case "script", "style":
+			closer := "</" + name
+			rest := strings.Index(strings.ToLower(html[i:]), closer)
+			if rest < 0 {
+				i = len(html)
+				continue
+			}
+			i += rest
+			gt := strings.IndexByte(html[i:], '>')
+			if gt < 0 {
+				i = len(html)
+				continue
+			}
+			i += gt + 1
+		case "p", "div", "br", "li", "tr", "h1", "h2", "h3", "h4", "h5", "h6", "blockquote", "section", "article":
+			emit("\n\n", tagStart)
+		default:
+			emit(" ", tagStart)
+		}
+	}
+	res.Text = b.String()
+	return res
+}
+
+// decodeEntityAt decodes the entity starting at i if any, returning the next
+// index, the decoded string (empty when no entity matched) and the raw
+// single byte fallback.
+func decodeEntityAt(s string, i int) (next int, decoded, raw string) {
+	if s[i] == '&' {
+		semi := strings.IndexByte(s[i:], ';')
+		if semi > 1 && semi <= 8 {
+			name := s[i+1 : i+semi]
+			if rep, ok := entities[name]; ok {
+				return i + semi + 1, rep, ""
+			}
+			if len(name) > 1 && name[0] == '#' {
+				n := 0
+				ok := true
+				for _, d := range name[1:] {
+					if d < '0' || d > '9' {
+						ok = false
+						break
+					}
+					n = n*10 + int(d-'0')
+				}
+				if ok && n > 0 && n < 0x10000 {
+					return i + semi + 1, string(rune(n)), ""
+				}
+			}
+		}
+	}
+	return i + 1, "", s[i : i+1]
+}

@@ -1,0 +1,88 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStripHTMLMappedMatchesStripHTML(t *testing.T) {
+	inputs := []string{
+		`<html><body><p>Hello <b>world</b>!</p></body></html>`,
+		`<p>visible</p><script>var x = 1;</script><p>more</p>`,
+		`before<!-- comment -->after`,
+		`Bush &amp; Clinton &lt;debate&gt; &#65;`,
+		`plain text no markup`,
+		``,
+		`<p unclosed`,
+		`text <!-- unterminated`,
+	}
+	for _, in := range inputs {
+		want := StripHTML(in)
+		got := StripHTMLMapped(in)
+		if got.Text != want {
+			t.Errorf("StripHTMLMapped text differs from StripHTML for %q:\n got %q\nwant %q", in, got.Text, want)
+		}
+	}
+}
+
+func TestSourceSpanRoundtrip(t *testing.T) {
+	html := `<p>The <b>Iraq war</b> continued in <i>Baghdad</i>.</p>`
+	res := StripHTMLMapped(html)
+	for _, phrase := range []string{"Iraq war", "Baghdad", "continued"} {
+		at := strings.Index(res.Text, phrase)
+		if at < 0 {
+			t.Fatalf("%q not in stripped text %q", phrase, res.Text)
+		}
+		lo, hi := res.SourceSpan(at, at+len(phrase))
+		if html[lo:hi] != phrase {
+			t.Errorf("SourceSpan(%q) = html[%d:%d] = %q", phrase, lo, hi, html[lo:hi])
+		}
+	}
+}
+
+func TestSourceSpanAcrossEntities(t *testing.T) {
+	html := `A &amp; B corporation`
+	res := StripHTMLMapped(html)
+	at := strings.Index(res.Text, "corporation")
+	lo, hi := res.SourceSpan(at, at+len("corporation"))
+	if html[lo:hi] != "corporation" {
+		t.Fatalf("entity offset shift: html[%d:%d] = %q", lo, hi, html[lo:hi])
+	}
+	// The decoded "&" maps back to the start of the entity.
+	amp := strings.Index(res.Text, "&")
+	if got := res.SourceOffset(amp); html[got] != '&' {
+		t.Fatalf("decoded entity maps to %q", html[got])
+	}
+}
+
+func TestSourceOffsetClamping(t *testing.T) {
+	res := StripHTMLMapped("<p>hi</p>")
+	if got := res.SourceOffset(-5); got != res.SourceOffset(0) {
+		t.Fatalf("negative offset not clamped: %d", got)
+	}
+	_ = res.SourceOffset(10_000) // must not panic
+	lo, hi := res.SourceSpan(3, 3)
+	if hi < lo {
+		t.Fatalf("empty span inverted: %d > %d", lo, hi)
+	}
+	empty := StripHTMLMapped("")
+	if empty.SourceOffset(0) != 0 {
+		t.Fatal("empty input offset")
+	}
+}
+
+func TestSourceSpanDetectionEndToEnd(t *testing.T) {
+	// A realistic flow: strip, find a token span in text, wrap it in the
+	// original HTML — the wrapped bytes must be exactly the surface text.
+	html := `<div>Email <a href="mailto:x">team@example.org</a> today.</div>`
+	res := StripHTMLMapped(html)
+	at := strings.Index(res.Text, "team@example.org")
+	lo, hi := res.SourceSpan(at, at+len("team@example.org"))
+	if html[lo:hi] != "team@example.org" {
+		t.Fatalf("html[%d:%d] = %q", lo, hi, html[lo:hi])
+	}
+	wrapped := html[:lo] + "<span>" + html[lo:hi] + "</span>" + html[hi:]
+	if !strings.Contains(wrapped, "<span>team@example.org</span>") {
+		t.Fatalf("wrap failed: %s", wrapped)
+	}
+}

@@ -1,0 +1,162 @@
+// Package textproc implements the text pre-processing stages of the
+// Contextual Shortcuts platform: HTML stripping, tokenization, sentence and
+// paragraph boundary detection, stop-word filtering, and the fixed-size
+// character windowing used to counter position bias in click data.
+//
+// The pipeline mirrors the paper's §II "sequence of pre-processing steps
+// [that] handles HTML parsing, tokenization, sentence, and paragraph
+// boundary detection".
+package textproc
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TokenKind classifies a token produced by the tokenizer.
+type TokenKind int
+
+const (
+	// Word is an alphabetic or alphanumeric token.
+	Word TokenKind = iota
+	// Number is a token consisting only of digits and digit separators.
+	Number
+	// Punct is a punctuation token (kept so detectors can see structure).
+	Punct
+)
+
+// Token is a single lexical unit with its position in the original text.
+type Token struct {
+	// Text is the raw token as it appears in the input.
+	Text string
+	// Norm is the normalized form: lower-cased with surrounding
+	// punctuation trimmed. Empty for pure punctuation tokens.
+	Norm string
+	// Kind classifies the token.
+	Kind TokenKind
+	// Start and End are byte offsets into the original text ([Start,End)).
+	Start int
+	End   int
+	// Sentence is the zero-based index of the sentence containing the token.
+	Sentence int
+	// Paragraph is the zero-based index of the paragraph containing the token.
+	Paragraph int
+}
+
+// IsWord reports whether the token is a word token (not number or punctuation).
+func (t Token) IsWord() bool { return t.Kind == Word }
+
+// Tokenize splits text into tokens with byte offsets. Words are maximal runs
+// of letters, digits, apostrophes and hyphens that begin with a letter or
+// digit; everything else that is not whitespace becomes a punctuation token.
+// Sentence and Paragraph indexes are filled in by AssignBoundaries, which
+// Tokenize calls before returning.
+func Tokenize(text string) []Token {
+	tokens := make([]Token, 0, len(text)/6+4)
+	i := 0
+	for i < len(text) {
+		r, size := decodeRune(text[i:])
+		switch {
+		case unicode.IsSpace(r):
+			i += size
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			start := i
+			i += size
+			for i < len(text) {
+				r2, s2 := decodeRune(text[i:])
+				if unicode.IsLetter(r2) || unicode.IsDigit(r2) || r2 == '\'' || r2 == '-' {
+					i += s2
+					continue
+				}
+				// A decimal point inside a number ("3.5") stays in the token.
+				if r2 == '.' && i+s2 < len(text) && isASCIIDigit(text[i-1]) && isASCIIDigit(text[i+s2]) {
+					i += s2
+					continue
+				}
+				break
+			}
+			raw := text[start:i]
+			// Trim trailing hyphens/apostrophes so "co-" tokenizes as "co".
+			trimmed := strings.TrimRight(raw, "'-")
+			if trimmed == "" {
+				trimmed = raw
+			}
+			kind := Word
+			if isNumeric(trimmed) {
+				kind = Number
+			}
+			tokens = append(tokens, Token{
+				Text:  raw,
+				Norm:  Normalize(trimmed),
+				Kind:  kind,
+				Start: start,
+				End:   start + len(raw),
+			})
+		default:
+			tokens = append(tokens, Token{
+				Text:  text[i : i+size],
+				Kind:  Punct,
+				Start: i,
+				End:   i + size,
+			})
+			i += size
+		}
+	}
+	AssignBoundaries(text, tokens)
+	return tokens
+}
+
+// decodeRune decodes the first rune of s with a fast ASCII path. Invalid
+// UTF-8 advances one byte (utf8.RuneError with size 1), so the tokenizer
+// always makes progress.
+func decodeRune(s string) (rune, int) {
+	if len(s) == 0 {
+		return 0, 0
+	}
+	if s[0] < 0x80 {
+		return rune(s[0]), 1
+	}
+	return utf8.DecodeRuneInString(s)
+}
+
+func isASCIIDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isNumeric(s string) bool {
+	hasDigit := false
+	for _, r := range s {
+		if unicode.IsDigit(r) {
+			hasDigit = true
+			continue
+		}
+		if r == '.' || r == ',' || r == '-' {
+			continue
+		}
+		return false
+	}
+	return hasDigit
+}
+
+// Normalize lower-cases s and trims surrounding punctuation, matching the
+// paper's note that "all characters are lower cased and the surrounding
+// punctuation characters are removed".
+func Normalize(s string) string {
+	s = strings.TrimFunc(s, func(r rune) bool {
+		return unicode.IsPunct(r) || unicode.IsSymbol(r)
+	})
+	return strings.ToLower(s)
+}
+
+// Words returns the normalized word tokens of text, dropping punctuation and
+// empty normalizations. This is the common entry point for bag-of-words
+// consumers (tf·idf, snippets, query processing).
+func Words(text string) []string {
+	tokens := Tokenize(text)
+	words := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if t.Kind != Punct && t.Norm != "" {
+			words = append(words, t.Norm)
+		}
+	}
+	return words
+}

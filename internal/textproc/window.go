@@ -1,0 +1,86 @@
+package textproc
+
+// Window is a contiguous slice of a document used to localize click analysis.
+// The paper partitions large documents into windows of 2500 characters with a
+// 500-character overlap "to avoid the positioning bias inherent in working
+// with user click data" (§V-A.1).
+type Window struct {
+	// Start and End are byte offsets into the original document ([Start,End)).
+	Start int
+	End   int
+	// Text is the window's content.
+	Text string
+	// Index is the window's zero-based position in the document.
+	Index int
+}
+
+// DefaultWindowSize and DefaultWindowOverlap are the paper's parameters.
+const (
+	DefaultWindowSize    = 2500
+	DefaultWindowOverlap = 500
+)
+
+// Partition splits text into windows of at most size bytes where consecutive
+// windows overlap by overlap bytes. Window boundaries are moved backwards to
+// the nearest whitespace so that tokens are never split; if no whitespace is
+// found within the overlap region the hard boundary is used. A document
+// shorter than size yields a single window.
+func Partition(text string, size, overlap int) []Window {
+	if size <= 0 {
+		size = DefaultWindowSize
+	}
+	if overlap < 0 || overlap >= size {
+		overlap = DefaultWindowOverlap
+		if overlap >= size {
+			overlap = size / 5
+		}
+	}
+	if len(text) <= size {
+		return []Window{{Start: 0, End: len(text), Text: text, Index: 0}}
+	}
+	var windows []Window
+	step := size - overlap
+	start := 0
+	for idx := 0; start < len(text); idx++ {
+		end := start + size
+		if end >= len(text) {
+			end = len(text)
+		} else {
+			end = backToSpace(text, end, start+step)
+		}
+		windows = append(windows, Window{Start: start, End: end, Text: text[start:end], Index: idx})
+		if end == len(text) {
+			break
+		}
+		next := start + step
+		next = forwardFromSpace(text, backToSpace(text, next, start))
+		if next <= start {
+			next = start + step
+		}
+		start = next
+	}
+	return windows
+}
+
+// backToSpace moves i backwards to just after the nearest whitespace byte,
+// but never before floor.
+func backToSpace(text string, i, floor int) int {
+	for j := i; j > floor; j-- {
+		if isSpaceByte(text[j-1]) {
+			return j
+		}
+	}
+	return i
+}
+
+// forwardFromSpace skips leading whitespace starting at i.
+func forwardFromSpace(text string, i int) int {
+	for i < len(text) && isSpaceByte(text[i]) {
+		i++
+	}
+	return i
+}
+
+func isSpaceByte(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}

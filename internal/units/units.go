@@ -1,0 +1,275 @@
+// Package units implements concept-unit extraction from search query logs,
+// following the paper's §II-B and its references [7,8] (Parikh & Kapur's
+// "units"): in the first iteration every single term appearing in queries is
+// a unit; in following iterations units that frequently co-occur in queries
+// are combined into larger candidate units, validated by mutual information
+//
+//	I(x,y) = log( p(x,y) / (p(x) p(y)) )            (paper Eq. 1)
+//
+// where the probabilities are relative frequencies over query submissions.
+package units
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"contextrank/internal/querylog"
+)
+
+// Unit is a validated concept unit.
+type Unit struct {
+	// Text is the space-separated unit phrase.
+	Text string
+	// Terms are the individual terms.
+	Terms []string
+	// Freq is the frequency-weighted number of query submissions containing
+	// the unit as a contiguous phrase.
+	Freq int64
+	// MI is the raw mutual information of the unit's terms (0 for
+	// single-term units, for which MI is undefined).
+	MI float64
+	// Score is the normalized unit score in [0,1] used by the concept
+	// vector and by the unit_score interestingness feature.
+	Score float64
+}
+
+// Config parameterizes extraction.
+type Config struct {
+	// MaxLen is the maximum unit length in terms. Default 3.
+	MaxLen int
+	// MinFreq is the minimum frequency-weighted support for a candidate.
+	// Default 5.
+	MinFreq int64
+	// MinMI is the validation threshold on mutual information. Default 2.0.
+	MinMI float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxLen == 0 {
+		c.MaxLen = 3
+	}
+	if c.MinFreq == 0 {
+		c.MinFreq = 5
+	}
+	if c.MinMI == 0 {
+		c.MinMI = 2.0
+	}
+	return c
+}
+
+// Set is the extracted unit inventory with phrase lookup and in-document
+// scanning support.
+type Set struct {
+	units   map[string]*Unit
+	byFirst map[string][]*Unit // first term -> units, longest first
+	maxLen  int
+}
+
+// Extract runs the iterative unit-extraction algorithm over the log.
+func Extract(l *querylog.Log, cfg Config) *Set {
+	cfg = cfg.withDefaults()
+	total := float64(l.TotalFreq())
+	if total == 0 {
+		return &Set{units: map[string]*Unit{}, byFirst: map[string][]*Unit{}, maxLen: cfg.MaxLen}
+	}
+
+	// Pass 1: frequency of every contiguous n-gram, n ≤ MaxLen, weighted by
+	// query frequency. A query contributes each distinct n-gram once.
+	ngramFreq := make(map[string]int64)
+	for _, q := range l.Queries {
+		seen := make(map[string]bool)
+		for n := 1; n <= cfg.MaxLen; n++ {
+			for i := 0; i+n <= len(q.Terms); i++ {
+				g := strings.Join(q.Terms[i:i+n], " ")
+				if !seen[g] {
+					seen[g] = true
+					ngramFreq[g] += int64(q.Freq)
+				}
+			}
+		}
+	}
+
+	p := func(g string) float64 { return float64(ngramFreq[g]) / total }
+
+	s := &Set{units: make(map[string]*Unit), byFirst: make(map[string][]*Unit), maxLen: cfg.MaxLen}
+
+	// Iteration 1: all single terms are units.
+	var maxTermFreq int64
+	for g, f := range ngramFreq {
+		if strings.IndexByte(g, ' ') < 0 && f > maxTermFreq {
+			maxTermFreq = f
+		}
+	}
+	for g, f := range ngramFreq {
+		if strings.IndexByte(g, ' ') >= 0 {
+			continue
+		}
+		s.units[g] = &Unit{
+			Text:  g,
+			Terms: []string{g},
+			Freq:  f,
+			Score: math.Log1p(float64(f)) / math.Log1p(float64(maxTermFreq)),
+		}
+	}
+
+	// Iterations 2..MaxLen: grow candidates, validate with MI. A candidate
+	// of length n is valid only if every split into two previously-validated
+	// units has MI ≥ MinMI; the unit's MI is the minimum over splits
+	// (conservative, mirrors the iterative combination of validated units).
+	var maxMI float64
+	for n := 2; n <= cfg.MaxLen; n++ {
+		grams := make([]string, 0)
+		for g := range ngramFreq {
+			if strings.Count(g, " ") == n-1 && ngramFreq[g] >= cfg.MinFreq {
+				grams = append(grams, g)
+			}
+		}
+		sort.Strings(grams) // determinism
+		for _, g := range grams {
+			terms := strings.Fields(g)
+			mi := math.Inf(1)
+			valid := true
+			for split := 1; split < len(terms); split++ {
+				left := strings.Join(terms[:split], " ")
+				right := strings.Join(terms[split:], " ")
+				if _, ok := s.units[left]; !ok {
+					valid = false
+					break
+				}
+				if _, ok := s.units[right]; !ok {
+					valid = false
+					break
+				}
+				pl, pr := p(left), p(right)
+				if pl == 0 || pr == 0 {
+					valid = false
+					break
+				}
+				m := math.Log(p(g) / (pl * pr))
+				if m < mi {
+					mi = m
+				}
+			}
+			if !valid || mi < cfg.MinMI {
+				continue
+			}
+			s.units[g] = &Unit{Text: g, Terms: terms, Freq: ngramFreq[g], MI: mi}
+			if mi > maxMI {
+				maxMI = mi
+			}
+		}
+	}
+
+	// Normalize multi-term scores to [0,1] (paper: "unit scores are also
+	// normalized to be between 0 and 1").
+	for _, u := range s.units {
+		if len(u.Terms) > 1 && maxMI > 0 {
+			u.Score = u.MI / maxMI
+		}
+	}
+
+	// Scanner index: units grouped by first term, longest first so the
+	// scanner is greedy-longest.
+	for _, u := range s.units {
+		s.byFirst[u.Terms[0]] = append(s.byFirst[u.Terms[0]], u)
+	}
+	for first := range s.byFirst {
+		us := s.byFirst[first]
+		sort.Slice(us, func(i, j int) bool {
+			if len(us[i].Terms) != len(us[j].Terms) {
+				return len(us[i].Terms) > len(us[j].Terms)
+			}
+			return us[i].Text < us[j].Text
+		})
+	}
+	return s
+}
+
+// Len returns the number of units in the set.
+func (s *Set) Len() int { return len(s.units) }
+
+// Lookup returns the unit for the exact phrase, or nil.
+func (s *Set) Lookup(phrase string) *Unit { return s.units[phrase] }
+
+// Score returns the normalized unit score of phrase, or 0 if the phrase is
+// not a unit.
+func (s *Set) Score(phrase string) float64 {
+	if u := s.units[phrase]; u != nil {
+		return u.Score
+	}
+	return 0
+}
+
+// MI returns the raw mutual information of phrase, or 0.
+func (s *Set) MI(phrase string) float64 {
+	if u := s.units[phrase]; u != nil {
+		return u.MI
+	}
+	return 0
+}
+
+// All returns all units sorted by decreasing score (ties by text).
+func (s *Set) All() []Unit {
+	out := make([]Unit, 0, len(s.units))
+	for _, u := range s.units {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Text < out[j].Text
+	})
+	return out
+}
+
+// Match is one unit occurrence in a token sequence.
+type Match struct {
+	Unit *Unit
+	// Start and End are token indexes ([Start,End)).
+	Start, End int
+}
+
+// FindInTokens scans normalized tokens for unit occurrences, greedy-longest
+// at each position (a longer unit suppresses its prefixes at that position).
+func (s *Set) FindInTokens(tokens []string) []Match {
+	var out []Match
+	for i := 0; i < len(tokens); i++ {
+		for _, u := range s.byFirst[tokens[i]] {
+			if i+len(u.Terms) > len(tokens) {
+				continue
+			}
+			ok := true
+			for j, term := range u.Terms {
+				if tokens[i+j] != term {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, Match{Unit: u, Start: i, End: i + len(u.Terms)})
+				break // greedy-longest: byFirst is sorted longest first
+			}
+		}
+	}
+	return out
+}
+
+// SubconceptCount returns the number of multi-term sub-phrases of phrase
+// (contiguous, length ≥ 2, shorter than the phrase itself) that are
+// validated units with score above minScore. This powers the paper's
+// interestingness feature (7) "subconcepts".
+func (s *Set) SubconceptCount(phrase string, minScore float64) int {
+	terms := strings.Fields(phrase)
+	count := 0
+	for n := 2; n < len(terms); n++ {
+		for i := 0; i+n <= len(terms); i++ {
+			g := strings.Join(terms[i:i+n], " ")
+			if u := s.units[g]; u != nil && u.Score > minScore {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,198 @@
+package world
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Mention describes one concept occurrence to embed in a composed document.
+type Mention struct {
+	// Concept is the concept to mention.
+	Concept *Concept
+	// Relevant controls whether the mention is surrounded by the concept's
+	// own context terms (a relevant, on-topic mention) or dropped into
+	// unrelated prose (the "Texas in a Cuba-policy story" case).
+	Relevant bool
+	// DensityScale grades how strongly a relevant mention is
+	// contextualized: it multiplies the effective context density for this
+	// mention's sentences. 0 means 1 (full). Lightly-contextualized
+	// mentions model the paper's "Somewhat Relevant" middle ground.
+	DensityScale float64
+	// Repeat is how many times to mention the concept (min 1).
+	Repeat int
+}
+
+// ComposeOptions controls document composition.
+type ComposeOptions struct {
+	// Topic is the primary topic index of the document.
+	Topic int
+	// Sentences is the approximate number of sentences. Default 12.
+	Sentences int
+	// WordsPerSentence is the approximate sentence length. Default 12.
+	WordsPerSentence int
+	// ContextDensity in [0,1] is the probability that a word in a sentence
+	// carrying a relevant mention is drawn from the mentioned concept's
+	// ContextTerms rather than from the topic at large. Specific concepts
+	// are composed with higher density by callers. Default 0.45.
+	ContextDensity float64
+}
+
+func (o ComposeOptions) withDefaults() ComposeOptions {
+	if o.Sentences == 0 {
+		o.Sentences = 12
+	}
+	if o.WordsPerSentence == 0 {
+		o.WordsPerSentence = 12
+	}
+	if o.ContextDensity == 0 {
+		o.ContextDensity = 0.45
+	}
+	return o
+}
+
+// connectives glue generated sentences into prose-like text so boundary
+// detection, stop-word removal and tf·idf see realistic structure.
+var connectives = []string{"the", "a", "of", "in", "and", "to", "with", "for", "on", "as"}
+
+// Placement records where a mention's name was written in the composed
+// text. Concept names can also occur incidentally elsewhere in the prose
+// (they are ordinary vocabulary); Placement identifies the deliberate
+// mention, which is what click instrumentation anchors to.
+type Placement struct {
+	// MentionIndex indexes the mentions slice passed to ComposeDoc.
+	MentionIndex int
+	// Offset is the byte offset of the written name.
+	Offset int
+}
+
+// ComposeDoc generates a document about the given topic that embeds the
+// given mentions, returning the text and the placement of each deliberate
+// mention occurrence. Mentions with Relevant=true are placed in sentences
+// that also carry the concept's context terms; irrelevant mentions are
+// placed in ordinary topical sentences. The text is plain prose with
+// sentences and paragraphs; concept names appear verbatim (title-cased for
+// named entities) so detectors can find them.
+func (w *World) ComposeDoc(opts ComposeOptions, mentions []Mention, rng *rand.Rand) (string, []Placement) {
+	opts = opts.withDefaults()
+	topic := &w.Topics[opts.Topic%len(w.Topics)]
+
+	// Plan which sentences carry which mention.
+	type slot struct {
+		m        *Mention
+		idx      int
+		sentence int
+	}
+	var slots []slot
+	total := 0
+	for i := range mentions {
+		r := mentions[i].Repeat
+		if r < 1 {
+			r = 1
+		}
+		total += r
+	}
+	numSentences := opts.Sentences
+	if numSentences < total {
+		numSentences = total + 2
+	}
+	used := make(map[int]bool)
+	for i := range mentions {
+		r := mentions[i].Repeat
+		if r < 1 {
+			r = 1
+		}
+		for k := 0; k < r; k++ {
+			s := rng.Intn(numSentences)
+			for used[s] {
+				s = (s + 1) % numSentences
+			}
+			used[s] = true
+			slots = append(slots, slot{m: &mentions[i], idx: i, sentence: s})
+		}
+	}
+	bySentence := make(map[int]slot, len(slots))
+	for _, s := range slots {
+		bySentence[s.sentence] = s
+	}
+
+	var b strings.Builder
+	var placements []Placement
+	for s := 0; s < numSentences; s++ {
+		if s > 0 {
+			if s%4 == 0 {
+				b.WriteString("\n\n")
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		var m *Mention
+		idx := -1
+		if sl, ok := bySentence[s]; ok {
+			m, idx = sl.m, sl.idx
+		}
+		offset := w.composeSentence(&b, topic, m, opts, rng)
+		if m != nil && offset >= 0 {
+			placements = append(placements, Placement{MentionIndex: idx, Offset: offset})
+		}
+	}
+	return b.String(), placements
+}
+
+// composeSentence writes one sentence, returning the byte offset where the
+// mention name was written (-1 if no mention).
+func (w *World) composeSentence(b *strings.Builder, topic *Topic, m *Mention, opts ComposeOptions, rng *rand.Rand) int {
+	length := opts.WordsPerSentence/2 + rng.Intn(opts.WordsPerSentence)
+	if length < 4 {
+		length = 4
+	}
+	mentionAt := -1
+	if m != nil {
+		mentionAt = rng.Intn(length)
+	}
+	mentionOffset := -1
+	first := true
+	for i := 0; i < length; i++ {
+		if !first {
+			b.WriteByte(' ')
+		}
+		switch {
+		case i == mentionAt:
+			name := m.Concept.Name
+			if m.Concept.Type != TypeNone {
+				name = TitleCase(name)
+			}
+			if first {
+				name = TitleCase(name)
+			}
+			mentionOffset = b.Len()
+			b.WriteString(name)
+		case m != nil && m.Relevant && m.Concept.Topic >= 0 && rng.Float64() < opts.ContextDensity*densityScale(m)*(0.3+0.7*m.Concept.Specificity):
+			// Relevant mentions pull in the concept's own context terms;
+			// how strongly depends on specificity, which is what makes
+			// snippet mining cluster for specific concepts.
+			ct := m.Concept.ContextTerms
+			b.WriteString(maybeCap(ct[rng.Intn(len(ct))], first))
+		case rng.Float64() < 0.22:
+			b.WriteString(maybeCap(connectives[rng.Intn(len(connectives))], first))
+		default:
+			b.WriteString(maybeCap(w.SampleTerm(topic, rng), first))
+		}
+		first = false
+	}
+	b.WriteByte('.')
+	return mentionOffset
+}
+
+func densityScale(m *Mention) float64 {
+	if m.DensityScale == 0 {
+		return 1
+	}
+	return m.DensityScale
+}
+
+func maybeCap(word string, cap bool) string {
+	if !cap || word == "" {
+		return word
+	}
+	return strings.ToUpper(word[:1]) + word[1:]
+}

@@ -1,0 +1,51 @@
+package world
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDegreeControlsLocalContextDensity verifies the graded-relevance primitive:
+// a mention's DensityScale controls how many of its context terms appear
+// near its placement — the signal the relevance score must recover.
+func TestDegreeControlsLocalContextDensity(t *testing.T) {
+	w := New(Config{Seed: 42, VocabSize: 4500, NumTopics: 8, NumConcepts: 300})
+	var c *Concept
+	for i := range w.Concepts {
+		if w.Concepts[i].Topic >= 0 && w.Concepts[i].Specificity > 0.7 {
+			c = &w.Concepts[i]
+			break
+		}
+	}
+	ctx := map[string]bool{}
+	for _, term := range c.ContextTerms {
+		ctx[term] = true
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, degree := range []float64{0.1, 0.5, 1.0} {
+		total := 0
+		for rep := 0; rep < 50; rep++ {
+			text, placements := w.ComposeDoc(ComposeOptions{Topic: c.Topic, Sentences: 20, ContextDensity: 1.0},
+				[]Mention{{Concept: c, Relevant: true, DensityScale: degree, Repeat: 1}}, rng)
+			if len(placements) == 0 {
+				t.Fatal("no placement")
+			}
+			pos := placements[0].Offset
+			lo, hi := pos-300, pos+300
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(text) {
+				hi = len(text)
+			}
+			for _, word := range strings.Fields(strings.ToLower(text[lo:hi])) {
+				word = strings.Trim(word, ".")
+				if ctx[word] {
+					total++
+				}
+			}
+		}
+		t.Logf("degree=%.1f avg ctx terms near mention = %.2f (spec=%.2f)", degree, float64(total)/50, c.Specificity)
+	}
+}

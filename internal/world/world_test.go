@@ -1,0 +1,198 @@
+package world
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testWorld(t testing.TB) *World {
+	t.Helper()
+	return New(Config{Seed: 42, VocabSize: 1200, NumTopics: 8, NumConcepts: 200})
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	w1 := New(Config{Seed: 7, VocabSize: 500, NumTopics: 4, NumConcepts: 60})
+	w2 := New(Config{Seed: 7, VocabSize: 500, NumTopics: 4, NumConcepts: 60})
+	if !reflect.DeepEqual(w1.Vocab, w2.Vocab) {
+		t.Fatal("vocab not deterministic")
+	}
+	if !reflect.DeepEqual(w1.Concepts, w2.Concepts) {
+		t.Fatal("concepts not deterministic")
+	}
+	w3 := New(Config{Seed: 8, VocabSize: 500, NumTopics: 4, NumConcepts: 60})
+	if reflect.DeepEqual(w1.Vocab, w3.Vocab) {
+		t.Fatal("different seeds produced identical vocab")
+	}
+}
+
+func TestWorldValidate(t *testing.T) {
+	if err := testWorld(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldHasVariety(t *testing.T) {
+	w := testWorld(t)
+	var multi, named, lowq, ambiguous int
+	for i := range w.Concepts {
+		c := &w.Concepts[i]
+		if len(c.Terms) > 1 {
+			multi++
+		}
+		if c.Type != TypeNone {
+			named++
+		}
+		if c.LowQuality() {
+			lowq++
+		}
+		if c.Ambiguous() {
+			ambiguous++
+		}
+	}
+	if multi == 0 || named == 0 || lowq == 0 {
+		t.Fatalf("missing variety: multi=%d named=%d lowq=%d", multi, named, lowq)
+	}
+	if named >= len(w.Concepts) {
+		t.Fatal("all concepts are named entities; abstract concepts missing")
+	}
+}
+
+func TestConceptByName(t *testing.T) {
+	w := testWorld(t)
+	c := &w.Concepts[len(w.Concepts)/2]
+	if got := w.ConceptByName(c.Name); got != c {
+		t.Fatalf("ConceptByName(%q) = %v", c.Name, got)
+	}
+	if got := w.ConceptByName("no such concept"); got != nil {
+		t.Fatalf("expected nil for unknown, got %v", got)
+	}
+}
+
+func TestLowQualityPhrasesPresent(t *testing.T) {
+	w := testWorld(t)
+	c := w.ConceptByName("my favorite")
+	if c == nil {
+		t.Fatal("'my favorite' missing")
+	}
+	if !c.LowQuality() || c.Topic != -1 {
+		t.Fatalf("'my favorite' should be low quality and topicless: %+v", c)
+	}
+}
+
+func TestSampleTermFromTopic(t *testing.T) {
+	w := testWorld(t)
+	rng := rand.New(rand.NewSource(1))
+	topic := &w.Topics[0]
+	valid := make(map[string]bool)
+	for _, id := range topic.TermIDs {
+		valid[w.Vocab[id]] = true
+	}
+	for i := 0; i < 500; i++ {
+		term := w.SampleTerm(topic, rng)
+		if !valid[term] {
+			t.Fatalf("sampled term %q not in topic", term)
+		}
+	}
+}
+
+func TestEntityTypeString(t *testing.T) {
+	if TypePerson.String() != "person" || TypeNone.String() != "none" {
+		t.Fatal("EntityType.String broken")
+	}
+}
+
+func TestTitleCase(t *testing.T) {
+	if got := TitleCase("global warming"); got != "Global Warming" {
+		t.Fatalf("TitleCase = %q", got)
+	}
+	if got := TitleCase(""); got != "" {
+		t.Fatalf("TitleCase empty = %q", got)
+	}
+}
+
+func TestComposeDocEmbedsMentions(t *testing.T) {
+	w := testWorld(t)
+	rng := rand.New(rand.NewSource(3))
+	var c *Concept
+	for i := range w.Concepts {
+		if w.Concepts[i].Topic >= 0 && len(w.Concepts[i].Terms) == 2 {
+			c = &w.Concepts[i]
+			break
+		}
+	}
+	if c == nil {
+		t.Skip("no two-term topical concept")
+	}
+	doc, _ := w.ComposeDoc(ComposeOptions{Topic: c.Topic}, []Mention{{Concept: c, Relevant: true, Repeat: 2}}, rng)
+	lower := strings.ToLower(doc)
+	if strings.Count(lower, c.Name) < 2 {
+		t.Fatalf("document should mention %q twice:\n%s", c.Name, doc)
+	}
+	if !strings.Contains(doc, ".") {
+		t.Fatal("document should contain sentences")
+	}
+}
+
+func TestComposeDocRelevantMentionsCarryContextTerms(t *testing.T) {
+	w := testWorld(t)
+	rng := rand.New(rand.NewSource(4))
+	var c *Concept
+	for i := range w.Concepts {
+		cc := &w.Concepts[i]
+		if cc.Topic >= 0 && cc.Specificity > 0.7 {
+			c = cc
+			break
+		}
+	}
+	if c == nil {
+		t.Skip("no specific concept found")
+	}
+	ctx := make(map[string]bool)
+	for _, term := range c.ContextTerms {
+		ctx[term] = true
+	}
+	// Compose many relevant docs in a *different* topic so context terms can
+	// only come from the mention machinery, then check they show up.
+	otherTopic := (c.Topic + 1) % len(w.Topics)
+	hits := 0
+	for i := 0; i < 10; i++ {
+		doc, _ := w.ComposeDoc(ComposeOptions{Topic: otherTopic}, []Mention{{Concept: c, Relevant: true}}, rng)
+		for _, word := range strings.Fields(strings.ToLower(doc)) {
+			word = strings.Trim(word, ".")
+			if ctx[word] {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("relevant mentions never pulled in context terms")
+	}
+}
+
+func TestComposeDocDeterministic(t *testing.T) {
+	w := testWorld(t)
+	c := &w.Concepts[20]
+	d1, _ := w.ComposeDoc(ComposeOptions{Topic: 1}, []Mention{{Concept: c}}, rand.New(rand.NewSource(9)))
+	d2, _ := w.ComposeDoc(ComposeOptions{Topic: 1}, []Mention{{Concept: c}}, rand.New(rand.NewSource(9)))
+	if d1 != d2 {
+		t.Fatal("ComposeDoc not deterministic for same rng seed")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if Clamp01(-1) != 0 || Clamp01(2) != 1 || Clamp01(0.5) != 0.5 {
+		t.Fatal("Clamp01 broken")
+	}
+}
+
+func BenchmarkComposeDoc(b *testing.B) {
+	w := New(Config{Seed: 42, VocabSize: 1200, NumTopics: 8, NumConcepts: 200})
+	rng := rand.New(rand.NewSource(1))
+	c := &w.Concepts[50]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.ComposeDoc(ComposeOptions{Topic: 2}, []Mention{{Concept: c, Relevant: true}}, rng)
+	}
+}
