@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build vet lint test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# kwlint is the project's own go/analysis suite (internal/analysis/...):
+# determinism, seededrand, floatcompare, errsink. It re-executes itself
+# through `go vet -vettool`, so results are cached like any vet run.
+lint:
+	$(GO) run ./cmd/kwlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in bench code without
+# burning CI minutes on stable timings.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# verify is the full CI gate, runnable locally with one command.
+verify: build vet lint race bench

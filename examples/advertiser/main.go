@@ -13,7 +13,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"contextrank"
 	"contextrank/internal/newsgen"
@@ -65,7 +64,6 @@ func main() {
 		topKeywords, pct(topOnTarget, topKeywords), float64(topKeywords)/float64(len(pages)))
 	fmt.Println("\nsample campaign match for one page:")
 	sample(inner.World, ranker, &pages[0])
-	_ = rand.Int
 }
 
 func pct(a, b int) float64 {

@@ -11,7 +11,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"contextrank"
 	"contextrank/internal/core"
@@ -56,7 +55,6 @@ func main() {
 	fmt.Printf("one week of traffic, annotate-all vs learned top-3:\n")
 	fmt.Printf("  views  %+0.1f%%   clicks %+0.1f%%   CTR %+0.1f%%\n",
 		prod.ViewsChangePct(), prod.ClicksChangePct(), prod.CTRChangePct())
-	_ = rand.Int
 }
 
 func printTop(label string, g *core.Group, scores []float64) {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,12 +16,15 @@ import (
 )
 
 func main() {
-	sys := contextrank.Build(contextrank.SmallConfig(42))
+	seed := flag.Int64("seed", 42, "base seed; user generation and click rngs use fixed offsets of it")
+	flag.Parse()
+
+	sys := contextrank.Build(contextrank.SmallConfig(*seed))
 	w := sys.Internal().World
 
 	// A small population of readers with latent preferences, plus their
 	// observed click histories.
-	users := personal.GenerateUsers(8, w.Config.NumTopics, 7)
+	users := personal.GenerateUsers(8, w.Config.NumTopics, *seed+7)
 	// User 7 happens to share user 0's tastes — the situation collaborative
 	// filtering exploits: somebody like you has a long history even if you
 	// do not.
@@ -28,7 +32,7 @@ func main() {
 	users[7].TypeAffinity = users[0].TypeAffinity
 
 	community := &personal.Community{}
-	rng := rand.New(rand.NewSource(9))
+	rng := rand.New(rand.NewSource(*seed + 9))
 	base := 0.04
 	for i := range users {
 		p := personal.NewProfile(w.Config.NumTopics)
@@ -49,7 +53,7 @@ func main() {
 	// CF-blended variant for the cold user 0.
 	evalUser := func(userIdx int, affinity func(*world.Concept) float64) float64 {
 		correct, total := 0, 0
-		r := rand.New(rand.NewSource(11))
+		r := rand.New(rand.NewSource(*seed + 11))
 		for t := 0; t < 600; t++ {
 			a := &w.Concepts[r.Intn(len(w.Concepts))]
 			b := &w.Concepts[r.Intn(len(w.Concepts))]

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,6 +14,9 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", 7, "seed for the document-composition rng")
+	flag.Parse()
+
 	// 1. Build the system: synthetic world, query log, search index,
 	// dictionaries, news traffic and click data. Deterministic in the seed.
 	sys := contextrank.Build(contextrank.SmallConfig(42))
@@ -43,7 +47,7 @@ func main() {
 	}
 	doc, _ := w.ComposeDoc(world.ComposeOptions{Topic: subject.Topic, Sentences: 10},
 		[]world.Mention{{Concept: subject, Relevant: true, Repeat: 2}},
-		rand.New(rand.NewSource(7)))
+		rand.New(rand.NewSource(*seed)))
 	doc += " Send tips to tips@example.org."
 
 	fmt.Println("document:")

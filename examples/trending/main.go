@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -18,7 +19,10 @@ import (
 )
 
 func main() {
-	sys := contextrank.Build(contextrank.SmallConfig(42))
+	seed := flag.Int64("seed", 42, "base seed; the series and composition rngs use fixed offsets of it")
+	flag.Parse()
+
+	sys := contextrank.Build(contextrank.SmallConfig(*seed))
 	inner := sys.Internal()
 	ranker, err := sys.TrainRanker()
 	if err != nil {
@@ -27,7 +31,7 @@ func main() {
 
 	// Part 1: trend mining over a six-week query-log series.
 	series, trueSpikes := querylog.GenerateSeries(inner.World, querylog.SeriesConfig{
-		Seed: 4242, Weeks: 6, SpikeProb: 0.02,
+		Seed: *seed * 101, Weeks: 6, SpikeProb: 0.02,
 	})
 	names := make([]string, len(inner.World.Concepts))
 	for i := range inner.World.Concepts {
@@ -62,7 +66,7 @@ func main() {
 			break
 		}
 	}
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(*seed + 7))
 	doc, _ := inner.World.ComposeDoc(world.ComposeOptions{Topic: spiker.Topic, Sentences: 12},
 		[]world.Mention{
 			{Concept: spiker, Relevant: true, Repeat: 2},

@@ -1,0 +1,250 @@
+// Package atest is a self-contained analysistest equivalent: it runs a
+// go/analysis analyzer over source fixtures and checks the diagnostics
+// against "// want" comments.
+//
+// The upstream golang.org/x/tools/go/analysis/analysistest package drags
+// in go/packages and friends, which this repo deliberately does not
+// vendor; the subset of behavior the kwlint tests need — load one
+// fixture package, typecheck it against the standard library, run the
+// analyzer and its Requires closure, diff diagnostics against
+// expectations — fits in this file.
+//
+// Fixture layout mirrors analysistest: <testdata>/src/<importpath>/*.go,
+// where <importpath> doubles as the fixture package's import path (so a
+// fixture under src/internal/serve/ is analyzed as package path
+// "internal/serve", which is what the scoped kwlint analyzers match on).
+//
+// Expectation syntax, on the line the diagnostic is reported:
+//
+//	x := rand.Intn(5) // want `global math/rand`
+//	a == b            // want "exact equality" `second expectation`
+//
+// Each quoted chunk is a regexp that must match the message of exactly
+// one diagnostic on that line, and every diagnostic must be claimed by
+// an expectation.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package under root/src and applies the analyzer,
+// comparing diagnostics against the fixtures' want comments.
+func Run(t *testing.T, root string, a *analysis.Analyzer, fixturePaths ...string) {
+	t.Helper()
+	for _, path := range fixturePaths {
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runOne(t, root, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, root string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join(root, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: stdImporter(fset)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", pkgPath, err)
+	}
+
+	diags := runWithRequires(t, a, fset, files, pkg, info)
+	checkExpectations(t, fset, files, diags)
+}
+
+// runWithRequires executes the analyzer's Requires closure in dependency
+// order and then the analyzer itself, returning its diagnostics.
+func runWithRequires(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	results := map[*analysis.Analyzer]interface{}{}
+	var run func(an *analysis.Analyzer)
+	run = func(an *analysis.Analyzer) {
+		if _, done := results[an]; done {
+			return
+		}
+		for _, req := range an.Requires {
+			run(req)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if an == a { // dependency diagnostics are not under test
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s: %v", an.Name, err)
+		}
+		results[an] = res
+	}
+	run(a)
+	return diags
+}
+
+// expectation is one want regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile("(?:`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					pat := m[1]
+					if pat == "" && m[2] != "" {
+						unq, err := strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string: %v", pos.Filename, pos.Line, err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		claimed := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// stdImporter returns a go/types importer that resolves standard-library
+// imports from compiler export data, produced on demand by
+// `go list -export`. This works offline and under the vendored build.
+func stdImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", exportLookup)
+}
+
+var (
+	exportMu    sync.Mutex
+	exportFiles = map[string]string{}
+)
+
+// exportLookup locates the export data file for an import path. Results
+// are cached process-wide; `go list -export -deps` is invoked once per
+// new root so transitive imports are resolved in the same subprocess.
+func exportLookup(path string) (io.ReadCloser, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	if f, ok := exportFiles[path]; ok {
+		return os.Open(f)
+	}
+	out, err := exec.Command("go", "list", "-export", "-deps", "-f", "{{.ImportPath}}={{.Export}}", path).Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok {
+			msg = string(ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list -export %s: %s", path, msg)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		ip, file, ok := strings.Cut(line, "=")
+		if ok && file != "" {
+			exportFiles[ip] = file
+		}
+	}
+	f, ok := exportFiles[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %s", path)
+	}
+	return os.Open(f)
+}

@@ -1,0 +1,17 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"contextrank/internal/analysis/atest"
+	"contextrank/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	// internal/clicksim is in scope and holds both flagging and clean
+	// cases; notpipeline commits every violation out of scope.
+	atest.Run(t, "../testdata", determinism.Analyzer,
+		"internal/clicksim",
+		"notpipeline",
+	)
+}

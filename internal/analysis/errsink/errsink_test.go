@@ -1,0 +1,15 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"contextrank/internal/analysis/atest"
+	"contextrank/internal/analysis/errsink"
+)
+
+func TestErrSink(t *testing.T) {
+	atest.Run(t, "../testdata", errsink.Analyzer,
+		"internal/serve",
+		"notserve",
+	)
+}

@@ -1,0 +1,15 @@
+package floatcompare_test
+
+import (
+	"testing"
+
+	"contextrank/internal/analysis/atest"
+	"contextrank/internal/analysis/floatcompare"
+)
+
+func TestFloatCompare(t *testing.T) {
+	atest.Run(t, "../testdata", floatcompare.Analyzer,
+		"internal/eval",
+		"notranking",
+	)
+}

@@ -1,0 +1,23 @@
+// Package kwlint bundles the project's go/analysis suite: the analyzers
+// that mechanically enforce the reproduction's determinism and hygiene
+// contracts. See cmd/kwlint for the driver.
+package kwlint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"contextrank/internal/analysis/determinism"
+	"contextrank/internal/analysis/errsink"
+	"contextrank/internal/analysis/floatcompare"
+	"contextrank/internal/analysis/seededrand"
+)
+
+// Analyzers returns the full kwlint suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		seededrand.Analyzer,
+		floatcompare.Analyzer,
+		errsink.Analyzer,
+	}
+}

@@ -1,0 +1,25 @@
+package kwlint_test
+
+import (
+	"testing"
+
+	"contextrank/internal/analysis/kwlint"
+)
+
+// TestSuite pins the analyzer roster: CI runs exactly these, in this
+// order, and each must be valid per the go/analysis contract.
+func TestSuite(t *testing.T) {
+	want := []string{"determinism", "seededrand", "floatcompare", "errsink"}
+	got := kwlint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s is missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package seededrand implements the kwlint analyzer that enforces seed
+// injection: every random source must be constructed from a seed the
+// caller controls.
+//
+// Reproducing the paper's experiments requires re-running any component
+// with the same seed and getting the same bytes out. A rand.NewSource(42)
+// buried in a function body can never be re-seeded from the outside, and
+// rand.NewSource(time.Now().UnixNano()) is different on every run. Both
+// are flagged; seeds must flow in through a parameter, a config field, or
+// a flag.
+//
+// The rule: the seed argument of rand.NewSource / rand.NewPCG /
+// rand.NewChaCha8 must not be a compile-time constant (including a local
+// variable that is only ever assigned a constant) and must not be derived
+// from time.Now. _test.go files are exempt — tests pin seeds by design.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"contextrank/internal/analysis/kwutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "require random sources to be built from injected seeds\n\n" +
+		"Flags rand.NewSource(<constant>) and rand.NewSource(time.Now()...): hard-coded seeds cannot be varied by the experiment harness and wall-clock seeds destroy reproducibility. Pass the seed in as a parameter, config field, or flag.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// seedConstructors maps math/rand (v1 and v2) constructor names that take
+// seed arguments.
+var seedConstructors = map[string]bool{"NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// funcStack tracks the enclosing function bodies so constant
+	// propagation for local seed variables stays function-local.
+	var funcStack []ast.Node
+
+	ins.Nodes([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node, push bool) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if push {
+				funcStack = append(funcStack, n)
+			} else {
+				funcStack = funcStack[:len(funcStack)-1]
+			}
+			return true
+		}
+		if !push || kwutil.IsTestFile(pass.Fset, n.Pos()) {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		pkg, name := kwutil.PkgFunc(pass.TypesInfo, call.Fun)
+		if (pkg != "math/rand" && pkg != "math/rand/v2") || !seedConstructors[name] {
+			return true
+		}
+		var encl ast.Node
+		if len(funcStack) > 0 {
+			encl = funcStack[len(funcStack)-1]
+		}
+		for _, arg := range call.Args {
+			switch {
+			case isEffectivelyConstant(pass.TypesInfo, arg, encl):
+				pass.Reportf(arg.Pos(), "hard-coded seed for rand.%s; inject the seed via a parameter, config field, or flag", name)
+			case kwutil.ContainsTimeNow(pass.TypesInfo, arg):
+				pass.Reportf(arg.Pos(), "time-derived seed for rand.%s breaks reproducibility; inject a fixed seed via a parameter, config field, or flag", name)
+			}
+		}
+		return true
+	})
+
+	return nil, nil
+}
+
+// isEffectivelyConstant reports whether the seed expression is a
+// compile-time constant, or an identifier for a local variable of the
+// enclosing function that is only ever assigned constants — i.e. a seed
+// nobody outside the function can change.
+func isEffectivelyConstant(info *types.Info, expr ast.Expr, enclosing ast.Node) bool {
+	expr = ast.Unparen(expr)
+	if tv, ok := info.Types[expr]; ok && tv.Value != nil {
+		return true
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok || enclosing == nil {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	// The variable must be declared inside the enclosing function (a
+	// package-level var can be set by flag.Parse or main wiring).
+	if enclosing.Pos() > v.Pos() || v.Pos() > enclosing.End() {
+		return false
+	}
+	constOnly := true
+	seen := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if !constOnly {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || info.ObjectOf(lid) != obj {
+					continue
+				}
+				seen = true
+				if len(n.Rhs) != len(n.Lhs) {
+					constOnly = false // multi-value: assume dynamic
+					continue
+				}
+				if tv, ok := info.Types[n.Rhs[i]]; !ok || tv.Value == nil {
+					constOnly = false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, lhs := range n.Names {
+				if info.ObjectOf(lhs) != obj {
+					continue
+				}
+				seen = true
+				if i >= len(n.Values) {
+					if len(n.Values) != 0 {
+						constOnly = false
+					}
+					continue // var seed int64 — zero value, constant
+				}
+				if tv, ok := info.Types[n.Values[i]]; !ok || tv.Value == nil {
+					constOnly = false
+				}
+			}
+		case *ast.UnaryExpr:
+			// &seed escaping means anything can write it.
+			if n.Op.String() == "&" {
+				if lid, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.ObjectOf(lid) == obj {
+					constOnly = false
+				}
+			}
+		case *ast.IncDecStmt:
+			if lid, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.ObjectOf(lid) == obj {
+				constOnly = false
+			}
+		}
+		return true
+	})
+	return seen && constOnly
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"contextrank/internal/analysis/atest"
+	"contextrank/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	atest.Run(t, "../testdata", seededrand.Analyzer, "seededrand")
+}

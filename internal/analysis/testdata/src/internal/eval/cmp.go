@@ -1,0 +1,37 @@
+// Fixture for the floatcompare analyzer: this package path is inside the
+// ranking/eval scope, where exact equality between two computed scores is
+// forbidden.
+package eval
+
+// --- flagging cases ---
+
+func tieByEquality(a, b float64) bool {
+	return a == b // want `== between two computed floats`
+}
+
+func notEqual(scores []float64) bool {
+	return scores[0] != scores[1] // want `!= between two computed floats`
+}
+
+// --- non-flagging cases ---
+
+// Comparing against a constant is a guard, not a tie decision.
+func zeroGuard(total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 1 / total
+}
+
+func intCompare(a, b int) bool { return a == b }
+
+// Ordered comparisons implement the tie-breaking rule legally.
+func tieBreak(a, b float64, ka, kb string) bool {
+	switch {
+	case a > b:
+		return true
+	case a < b:
+		return false
+	}
+	return ka < kb
+}

@@ -1,0 +1,56 @@
+// Fixture for the errsink analyzer: this package path is inside the
+// serve scope, where write errors must be consumed.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// --- flagging cases ---
+
+func dropEncode(w http.ResponseWriter, v any) {
+	json.NewEncoder(w).Encode(v) // want `error from json.Encoder.Encode is silently dropped`
+}
+
+func dropWrite(w http.ResponseWriter, b []byte) {
+	w.Write(b) // want `\.Write is silently dropped`
+}
+
+func dropFprintln(w http.ResponseWriter) {
+	fmt.Fprintln(w, "ok") // want `error from fmt.Fprintln is silently dropped`
+}
+
+func dropWriteString(w io.Writer) {
+	io.WriteString(w, "x") // want `error from io.WriteString is silently dropped`
+}
+
+// --- non-flagging cases ---
+
+func checkedEncode(w http.ResponseWriter, v any) {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func explicitDiscard(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func checkedWrite(w http.ResponseWriter, b []byte) error {
+	_, err := w.Write(b)
+	return err
+}
+
+// bytes.Buffer and strings.Builder writes are documented to never fail.
+func bufferWrites() string {
+	var buf bytes.Buffer
+	buf.WriteString("a")
+	var sb strings.Builder
+	sb.WriteString("b")
+	return buf.String() + sb.String()
+}

@@ -1,0 +1,21 @@
+// Fixture for the determinism analyzer: this package is OUTSIDE the
+// deterministic-pipeline scope, so nothing here may be flagged even
+// though it commits every sin the analyzer knows.
+package notpipeline
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().Unix() }
+
+func Draw() int { return rand.Intn(10) }
+
+func Emit(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

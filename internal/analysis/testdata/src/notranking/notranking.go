@@ -1,0 +1,5 @@
+// Fixture for the floatcompare analyzer: outside the ranking/eval scope
+// float equality is legal (tests, plotting, fixtures, …).
+package notranking
+
+func Equal(a, b float64) bool { return a == b }

@@ -1,0 +1,12 @@
+// Fixture for the errsink analyzer: outside the serve scope dropped
+// write errors are another linter's business.
+package notserve
+
+import (
+	"fmt"
+	"io"
+)
+
+func Drop(w io.Writer) {
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,58 @@
+// Fixture for the seededrand analyzer: random sources must be built from
+// injected seeds, never hard-coded constants or the wall clock.
+package seededrand
+
+import (
+	"flag"
+	"math/rand"
+	"time"
+)
+
+// --- flagging cases ---
+
+func hardCoded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `hard-coded seed for rand.NewSource`
+}
+
+func hardCodedExpr() rand.Source {
+	return rand.NewSource(40 + 2) // want `hard-coded seed for rand.NewSource`
+}
+
+func localConst() rand.Source {
+	s := int64(42)
+	return rand.NewSource(s) // want `hard-coded seed for rand.NewSource`
+}
+
+func wallClock() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `time-derived seed for rand.NewSource`
+}
+
+// --- non-flagging cases ---
+
+func fromParam(seed int64) rand.Source {
+	return rand.NewSource(seed)
+}
+
+func fromParamExpr(seed int64) rand.Source {
+	return rand.NewSource(seed + 31)
+}
+
+type Config struct{ Seed int64 }
+
+func fromField(cfg Config) rand.Source {
+	return rand.NewSource(cfg.Seed)
+}
+
+var seedFlag = flag.Int64("seed", 7, "injected seed")
+
+func fromFlag() rand.Source {
+	return rand.NewSource(*seedFlag)
+}
+
+func fromMutatedLocal(inputs []int64) rand.Source {
+	s := int64(1)
+	for _, in := range inputs {
+		s = s*31 + in
+	}
+	return rand.NewSource(s)
+}

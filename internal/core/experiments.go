@@ -37,8 +37,11 @@ func (s *System) Table2(k int) (top, bottom []Table2Row) {
 		rows = append(rows, Table2Row{Concept: name, Summation: store.Summation(name)})
 	}
 	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Summation != rows[j].Summation {
-			return rows[i].Summation > rows[j].Summation
+		switch {
+		case rows[i].Summation > rows[j].Summation:
+			return true
+		case rows[i].Summation < rows[j].Summation:
+			return false
 		}
 		return rows[i].Concept < rows[j].Concept
 	})

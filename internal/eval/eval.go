@@ -36,7 +36,7 @@ func (a *Accumulator) Add(pred, truth []float64) {
 			case pred[i] < pred[j]:
 				a.mistakes++
 				a.wMistakes += diff
-			case pred[i] == pred[j]:
+			case pred[i] <= pred[j]: // not < and not >: a predicted tie
 				a.mistakes += 0.5
 				a.wMistakes += 0.5 * diff
 			}

@@ -40,8 +40,11 @@ func (a *Adjuster) Annotate(text string, topN int) []framework.Annotation {
 		ranked = append(ranked, an)
 	}
 	sort.SliceStable(ranked, func(i, j int) bool {
-		if ranked[i].Score != ranked[j].Score {
-			return ranked[i].Score > ranked[j].Score
+		switch {
+		case ranked[i].Score > ranked[j].Score:
+			return true
+		case ranked[i].Score < ranked[j].Score:
+			return false
 		}
 		return ranked[i].Relevance > ranked[j].Relevance
 	})

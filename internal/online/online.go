@@ -175,8 +175,11 @@ func (t *Tracker) Hot(k int) []string {
 	t.mu.RUnlock()
 	sort.Slice(names, func(i, j int) bool {
 		bi, bj := t.Boost(names[i]), t.Boost(names[j])
-		if bi != bj {
-			return bi > bj
+		switch {
+		case bi > bj:
+			return true
+		case bi < bj:
+			return false
 		}
 		return names[i] < names[j]
 	})

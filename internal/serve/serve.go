@@ -16,7 +16,7 @@ package serve
 
 import (
 	"encoding/json"
-	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 
@@ -37,8 +37,9 @@ type Server struct {
 	// DefaultTop is used when a request omits "top". Default 5.
 	DefaultTop int
 
-	requests atomic.Int64
-	docBytes atomic.Int64
+	requests    atomic.Int64
+	docBytes    atomic.Int64
+	writeErrors atomic.Int64
 }
 
 // NewServer builds a server around a runtime. renderer may be nil, which
@@ -55,7 +56,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/concepts", s.handleConcepts)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+		s.writeBody(w, "ok\n")
 	})
 	mux.HandleFunc("GET /statz", s.handleStats)
 	return mux
@@ -153,7 +154,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Annotations = append(resp.Annotations, aj)
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
@@ -172,11 +173,11 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		// publisher's HTML.
 		res := textproc.StripHTMLMapped(req.Text)
 		anns := s.annotate(res.Text, s.top(req))
-		fmt.Fprint(w, s.Renderer.RenderSource(req.Text, res, anns))
+		s.writeBody(w, s.Renderer.RenderSource(req.Text, res, anns))
 		return
 	}
 	anns := s.annotate(text, s.top(req))
-	fmt.Fprint(w, s.Renderer.Render(text, anns))
+	s.writeBody(w, s.Renderer.Render(text, anns))
 }
 
 // ConceptInfo is the /v1/concepts response.
@@ -204,30 +205,43 @@ func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
 			info.Keywords = append(info.Keywords, e.Term)
 		}
 	}
-	writeJSON(w, info)
+	s.writeJSON(w, info)
 }
 
 // Stats is the /statz response.
 type Stats struct {
 	Requests      int64   `json:"requests"`
 	DocumentBytes int64   `json:"document_bytes"`
+	WriteErrors   int64   `json:"write_errors"`
 	StemMBps      float64 `json:"stem_mbps"`
 	RankMBps      float64 `json:"rank_mbps"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	stem, rank := s.Runtime.Throughput()
-	writeJSON(w, Stats{
+	s.writeJSON(w, Stats{
 		Requests:      s.requests.Load(),
 		DocumentBytes: s.docBytes.Load(),
+		WriteErrors:   s.writeErrors.Load(),
 		StemMBps:      stem,
 		RankMBps:      rank,
 	})
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeBody writes a pre-rendered body and accounts failures: a client
+// that disconnects mid-write would otherwise look like a success in
+// /statz while receiving a truncated document.
+func (s *Server) writeBody(w http.ResponseWriter, body string) {
+	if _, err := io.WriteString(w, body); err != nil {
+		s.writeErrors.Add(1)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// Encode errors after the header is sent usually mean the client
+		// went away; count them rather than pretend the write succeeded.
+		s.writeErrors.Add(1)
 	}
 }
