@@ -9,8 +9,9 @@ vet:
 	$(GO) vet ./...
 
 # kwlint is the project's own go/analysis suite (internal/analysis/...):
-# determinism, seededrand, floatcompare, errsink. It re-executes itself
-# through `go vet -vettool`, so results are cached like any vet run.
+# determinism, orderedfanout, seededrand, floatcompare, errsink. It
+# re-executes itself through `go vet -vettool`, so results are cached like
+# any vet run.
 lint:
 	$(GO) run ./cmd/kwlint ./...
 
@@ -21,9 +22,13 @@ race:
 	$(GO) test -race ./...
 
 # One iteration of every benchmark: catches bit-rot in bench code without
-# burning CI minutes on stable timings.
+# burning CI minutes on stable timings. The parsed results land in
+# BENCH.json (benchmark name -> iterations + metric map); bench.out keeps
+# the raw output. Redirect-then-parse (not a pipe) so a failing test run
+# fails the target instead of being masked by the parser's exit code.
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./... > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH.json < bench.out
 
 # verify is the full CI gate, runnable locally with one command.
 verify: build vet lint race bench

@@ -1,0 +1,66 @@
+package contextrank
+
+// Speedup benchmarks for the deterministic parallel pipeline: each runs
+// the same work with Workers=1 and with all cores and reports both times
+// plus the ratio. TestParallelEqualsSerial proves the outputs are
+// bit-identical; these measure what the fan-out buys. The "workers"
+// metric records the fan-out width: on a single-core machine it is 1 and
+// the speedup is necessarily ~1.0, scaling with cores elsewhere.
+
+import (
+	"testing"
+	"time"
+
+	"contextrank/internal/core"
+	"contextrank/internal/par"
+	"contextrank/internal/ranksvm"
+)
+
+// BenchmarkParallelBuild measures the full system build (corpus sharding,
+// relevance mining, click simulation) serial vs parallel.
+func BenchmarkParallelBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		serialCfg := SmallConfig(42)
+		serialCfg.Workers = 1
+		t0 := time.Now()
+		Build(serialCfg)
+		serial := time.Since(t0)
+
+		parCfg := SmallConfig(42) // Workers=0: all cores
+		t1 := time.Now()
+		Build(parCfg)
+		parallel := time.Since(t1)
+
+		b.ReportMetric(serial.Seconds()*1000, "serialMs")
+		b.ReportMetric(parallel.Seconds()*1000, "parallelMs")
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+		b.ReportMetric(float64(par.Workers(0)), "workers")
+	}
+}
+
+// BenchmarkParallelCrossValidate measures 5-fold CV of the ranking SVM
+// with serial folds vs folds fanned out across all cores.
+func BenchmarkParallelCrossValidate(b *testing.B) {
+	s := benchSystem(b)
+	groups := s.Dataset(nil)
+	for i := 0; i < b.N; i++ {
+		m := &core.LearnedMethod{Options: ranksvm.Options{Seed: 42}}
+
+		t0 := time.Now()
+		if _, err := core.CrossValidateWorkers(groups, m, 5, 42, 1); err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(t0)
+
+		t1 := time.Now()
+		if _, err := core.CrossValidateWorkers(groups, m, 5, 42, 0); err != nil {
+			b.Fatal(err)
+		}
+		parallel := time.Since(t1)
+
+		b.ReportMetric(serial.Seconds()*1000, "serialMs")
+		b.ReportMetric(parallel.Seconds()*1000, "parallelMs")
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+		b.ReportMetric(float64(par.Workers(0)), "workers")
+	}
+}

@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document mapping each benchmark name to its iteration count and metric
+// values (ns/op, B/op, and every b.ReportMetric custom unit). make bench
+// uses it to publish BENCH.json, the machine-readable record of the
+// reproduction's measured numbers.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchtime=1x ./... > bench.out
+//	benchjson -o BENCH.json < bench.out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's parsed result line.
+type Entry struct {
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	benches, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(benches, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark result lines. The format is
+//
+//	BenchmarkName-8   <iterations>   <value> <unit>   <value> <unit> ...
+//
+// where the -8 GOMAXPROCS suffix is stripped so the key is stable across
+// machines.
+func parse(r *os.File) (map[string]Entry, error) {
+	benches := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue // e.g. "Benchmark... FAIL" or a header line
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := Entry{Iterations: iters, Metrics: map[string]float64{}}
+		for j := 2; j+1 < len(fields); j += 2 {
+			v, err := strconv.ParseFloat(fields[j], 64)
+			if err != nil {
+				continue
+			}
+			e.Metrics[fields[j+1]] = v
+		}
+		benches[name] = e
+	}
+	return benches, sc.Err()
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|table2|table3|table4|table5|table6|fig1|fig2|fig3|production|datastats|framework|featureselection|senses|online] [-seed N] [-scale small|paper]
+//	experiments [-run all|table2|table3|table4|table5|table6|fig1|fig2|fig3|production|datastats|framework|featureselection|senses|online] [-seed N] [-scale small|paper] [-workers N]
 package main
 
 import (
@@ -26,9 +26,10 @@ func main() {
 	run := flag.String("run", "all", "which experiment to run")
 	seed := flag.Int64("seed", 42, "master seed")
 	scale := flag.String("scale", "paper", "world scale: small|paper")
+	workers := flag.Int("workers", 0, "worker goroutines per parallel stage (1 = serial, 0 = all cores); results are identical for every value")
 	flag.Parse()
 
-	cfg := core.Config{Seed: *seed}
+	cfg := core.Config{Seed: *seed, Workers: *workers}
 	switch *scale {
 	case "small":
 		cfg.World = world.Config{VocabSize: 2000, NumTopics: 10, NumConcepts: 300}

@@ -120,6 +120,9 @@ func (s *System) assembleRanker(model *ranksvm.Model) (*Ranker, error) {
 	for i := range s.sys.World.Concepts {
 		names[i] = s.sys.World.Concepts[i].Name
 	}
+	// Extract every concept's features across workers before the serial
+	// table pack (the cached lookups below then hit the warm cache).
+	s.sys.WarmFields(names)
 	table := framework.BuildInterestTable(names, func(n string) features.Fields { return s.sys.Fields(n) })
 	packs := framework.BuildKeywordPacks(s.sys.RelevanceStore(relevance.Snippets))
 	rt := framework.NewRuntime(s.sys.Pipeline, table, packs, model)

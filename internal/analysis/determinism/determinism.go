@@ -20,7 +20,6 @@ package determinism
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/inspect"
@@ -106,14 +105,14 @@ func checkMapOrder(pass *analysis.Pass, body *ast.BlockStmt) {
 		switch n := n.(type) {
 		case *ast.ReturnStmt:
 			for _, res := range n.Results {
-				for _, obj := range identObjects(pass.TypesInfo, res) {
+				for _, obj := range kwutil.IdentObjects(pass.TypesInfo, res) {
 					returned[obj] = true
 				}
 			}
 		case *ast.CallExpr:
-			if isSortCall(pass.TypesInfo, n) {
+			if kwutil.IsSortCall(pass.TypesInfo, n) {
 				for _, arg := range n.Args {
-					for _, obj := range identObjects(pass.TypesInfo, arg) {
+					for _, obj := range kwutil.IdentObjects(pass.TypesInfo, arg) {
 						sorted[obj] = true
 					}
 				}
@@ -165,45 +164,3 @@ func checkMapOrder(pass *analysis.Pass, body *ast.BlockStmt) {
 	})
 }
 
-// identObjects collects the objects of every identifier in expr, except
-// under len/cap — returning a slice's length does not leak its order.
-func identObjects(info *types.Info, expr ast.Expr) []types.Object {
-	var objs []types.Object
-	ast.Inspect(expr, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-				if b, isBuiltin := info.ObjectOf(fun).(*types.Builtin); isBuiltin && (b.Name() == "len" || b.Name() == "cap") {
-					return false
-				}
-			}
-		}
-		if id, ok := n.(*ast.Ident); ok {
-			if obj := info.ObjectOf(id); obj != nil {
-				objs = append(objs, obj)
-			}
-		}
-		return true
-	})
-	return objs
-}
-
-// isSortCall recognizes anything that imposes an order on its argument:
-// sort.* and slices.* calls (including sort.Sort(wrapper(s))), plus
-// project-local sort helpers by naming convention — a function whose name
-// contains "Sort" (corpus.SortVector, sortByScore, …).
-func isSortCall(info *types.Info, call *ast.CallExpr) bool {
-	pkg, name := kwutil.PkgFunc(info, call.Fun)
-	if pkg == "sort" || pkg == "slices" {
-		return true
-	}
-	if name == "" {
-		// Local helpers and methods: fall back to the syntactic name.
-		switch fun := ast.Unparen(call.Fun).(type) {
-		case *ast.Ident:
-			name = fun.Name
-		case *ast.SelectorExpr:
-			name = fun.Sel.Name
-		}
-	}
-	return strings.Contains(name, "Sort") || strings.HasPrefix(name, "sort")
-}

@@ -9,6 +9,7 @@ import (
 	"contextrank/internal/analysis/determinism"
 	"contextrank/internal/analysis/errsink"
 	"contextrank/internal/analysis/floatcompare"
+	"contextrank/internal/analysis/orderedfanout"
 	"contextrank/internal/analysis/seededrand"
 )
 
@@ -16,6 +17,7 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
+		orderedfanout.Analyzer,
 		seededrand.Analyzer,
 		floatcompare.Analyzer,
 		errsink.Analyzer,

@@ -9,7 +9,7 @@ import (
 // TestSuite pins the analyzer roster: CI runs exactly these, in this
 // order, and each must be valid per the go/analysis contract.
 func TestSuite(t *testing.T) {
-	want := []string{"determinism", "seededrand", "floatcompare", "errsink"}
+	want := []string{"determinism", "orderedfanout", "seededrand", "floatcompare", "errsink"}
 	got := kwlint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

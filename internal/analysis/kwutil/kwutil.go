@@ -121,6 +121,49 @@ func NamedIs(named *types.Named, pkgPath, name string) bool {
 	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
 }
 
+// IdentObjects collects the objects of every identifier in expr, except
+// under len/cap — returning a slice's length does not leak its order.
+func IdentObjects(info *types.Info, expr ast.Expr) []types.Object {
+	var objs []types.Object
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := info.ObjectOf(fun).(*types.Builtin); isBuiltin && (b.Name() == "len" || b.Name() == "cap") {
+					return false
+				}
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// IsSortCall recognizes anything that imposes an order on its argument:
+// sort.* and slices.* calls (including sort.Sort(wrapper(s))), plus
+// project-local sort helpers by naming convention — a function whose name
+// contains "Sort" (corpus.SortVector, sortByScore, …).
+func IsSortCall(info *types.Info, call *ast.CallExpr) bool {
+	pkg, name := PkgFunc(info, call.Fun)
+	if pkg == "sort" || pkg == "slices" {
+		return true
+	}
+	if name == "" {
+		// Local helpers and methods: fall back to the syntactic name.
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+	}
+	return strings.Contains(name, "Sort") || strings.HasPrefix(name, "sort")
+}
+
 // ContainsTimeNow reports whether the expression tree contains a call to
 // time.Now (directly or under conversions/arithmetic, e.g.
 // time.Now().UnixNano()).

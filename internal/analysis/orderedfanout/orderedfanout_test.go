@@ -1,0 +1,17 @@
+package orderedfanout_test
+
+import (
+	"testing"
+
+	"contextrank/internal/analysis/atest"
+	"contextrank/internal/analysis/orderedfanout"
+)
+
+func TestOrderedFanout(t *testing.T) {
+	// internal/relevance is in scope and holds both flagging and clean
+	// cases; notpipeline collects from channels out of scope.
+	atest.Run(t, "../testdata", orderedfanout.Analyzer,
+		"internal/relevance",
+		"notpipeline",
+	)
+}

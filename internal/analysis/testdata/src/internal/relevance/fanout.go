@@ -1,0 +1,70 @@
+// Fixture for the orderedfanout analyzer: this package path is inside the
+// deterministic-pipeline scope, so arrival-order collection from worker
+// channels must be flagged while index-addressed collection stays clean.
+package relevance
+
+import "sort"
+
+type result struct {
+	idx   int
+	score float64
+	terms []string
+}
+
+// --- flagging cases ---
+
+func arrivalOrderCollect(ch chan result) []string {
+	var out []string
+	for r := range ch {
+		out = append(out, r.terms...) // want `out is appended to while ranging over a channel and returned without a sort`
+	}
+	return out
+}
+
+func arrivalOrderSum(ch chan result) float64 {
+	total := 0.0
+	for r := range ch {
+		total += r.score // want `floating-point accumulation into total while ranging over a channel`
+	}
+	return total
+}
+
+// --- non-flagging cases ---
+
+// Index-addressed collection: the par.Map shape — slot i holds result i
+// no matter when it arrives.
+func indexAddressed(ch chan result, n int) []float64 {
+	out := make([]float64, n)
+	for r := range ch {
+		out[r.idx] = r.score
+	}
+	return out
+}
+
+// Sorted before escaping: arrival order never reaches the caller.
+func sortedAfterCollect(ch chan result) []result {
+	var out []result
+	for r := range ch {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].idx < out[j].idx })
+	return out
+}
+
+// Integer counting is exact arithmetic; order cannot matter.
+func countOnly(ch chan result) int {
+	n := 0
+	for range ch {
+		n++
+	}
+	return n
+}
+
+// Not returned: local accumulation order is invisible to the caller.
+func localCollect(ch chan result) int {
+	var all []result
+	for r := range ch {
+		all = append(all, r)
+	}
+	return len(all)
+}

@@ -19,3 +19,19 @@ func Emit(m map[string]int) []string {
 	}
 	return out
 }
+
+func Collect(ch chan float64) []float64 {
+	var out []float64
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}
+
+func Sum(ch chan float64) float64 {
+	total := 0.0
+	for v := range ch {
+		total += v
+	}
+	return total
+}

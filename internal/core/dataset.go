@@ -66,6 +66,16 @@ func (s *System) Dataset(resources []relevance.Resource) []Group {
 	for _, r := range resources {
 		stores[r] = s.RelevanceStore(r)
 	}
+	// Batch-extract the features of every concept in the click data across
+	// workers before the serial join below — extraction dominates the join.
+	var names []string
+	for _, wg := range s.Groups {
+		for _, e := range wg.Entities {
+			names = append(names, e.Concept.Name)
+		}
+	}
+	s.WarmFields(names)
+	s.WarmExtendedFields(names)
 	groups := make([]Group, 0, len(s.Groups))
 	for gi, wg := range s.Groups {
 		g := Group{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"contextrank/internal/eval"
+	"contextrank/internal/par"
 )
 
 // Result is the outcome of evaluating one method: the paper's two metrics.
@@ -34,19 +35,43 @@ var NDCGKs = []int{1, 2, 3}
 // subset for testing ... repeated five times"). Static methods are fitted
 // once per fold too (a no-op) so the same code path measures everything.
 // The NDCG bucketizer is built from all CTRs in the dataset.
+//
+// Folds run serially; CrossValidateWorkers fans them out.
 func CrossValidate(groups []Group, m Method, folds int, seed int64) (Result, error) {
+	return CrossValidateWorkers(groups, m, folds, seed, 1)
+}
+
+// foldEval is one fold's evaluation partials, merged in fold order.
+type foldEval struct {
+	acc     eval.Accumulator
+	ndcgSum map[int]float64
+	ndcgN   int
+}
+
+// CrossValidateWorkers is CrossValidate with the folds fanned out across
+// workers (par.Workers semantics: 1 = serial, 0 = all cores). Each fold
+// fits its own clone of the method (see Cloneable) and evaluates its test
+// groups in index order; the per-fold partials are merged in fold order,
+// so the result is bit-identical for every worker count. Methods that do
+// not implement Cloneable fall back to serial folds.
+func CrossValidateWorkers(groups []Group, m Method, folds int, seed int64, workers int) (Result, error) {
 	if folds <= 0 {
 		folds = 5
 	}
 	bucketizer := eval.NewBucketizer(AllCTRs(groups))
 	judge := bucketizer.Judgement
-
-	var acc eval.Accumulator
-	ndcgSum := make(map[int]float64, len(NDCGKs))
-	ndcgN := 0
-
 	foldIdx := eval.KFold(len(groups), folds, seed)
-	for f := 0; f < len(foldIdx); f++ {
+
+	cloner, cloneable := m.(Cloneable)
+	if !cloneable {
+		workers = 1
+	}
+
+	evalFold := func(f int) (foldEval, error) {
+		method := m
+		if cloneable {
+			method = cloner.CloneMethod()
+		}
 		test := foldIdx[f]
 		inTest := make(map[int]bool, len(test))
 		for _, i := range test {
@@ -58,19 +83,37 @@ func CrossValidate(groups []Group, m Method, folds int, seed int64) (Result, err
 				train = append(train, groups[i])
 			}
 		}
-		if err := m.Fit(train); err != nil {
-			return Result{}, fmt.Errorf("fold %d: %w", f, err)
+		fe := foldEval{ndcgSum: make(map[int]float64, len(NDCGKs))}
+		if err := method.Fit(train); err != nil {
+			return fe, fmt.Errorf("fold %d: %w", f, err)
 		}
 		for _, i := range test {
 			g := &groups[i]
-			pred := m.Score(g)
+			pred := method.Score(g)
 			truth := g.CTRs()
-			acc.Add(pred, truth)
+			fe.acc.Add(pred, truth)
 			for _, k := range NDCGKs {
-				ndcgSum[k] += eval.NDCG(pred, truth, k, judge)
+				fe.ndcgSum[k] += eval.NDCG(pred, truth, k, judge)
 			}
-			ndcgN++
+			fe.ndcgN++
 		}
+		return fe, nil
+	}
+
+	partials, err := par.MapErr(workers, len(foldIdx), evalFold)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var acc eval.Accumulator
+	ndcgSum := make(map[int]float64, len(NDCGKs))
+	ndcgN := 0
+	for _, fe := range partials {
+		acc.Merge(fe.acc)
+		for _, k := range NDCGKs {
+			ndcgSum[k] += fe.ndcgSum[k]
+		}
+		ndcgN += fe.ndcgN
 	}
 
 	res := Result{

@@ -9,6 +9,7 @@ import (
 	"contextrank/internal/editorial"
 	"contextrank/internal/features"
 	"contextrank/internal/newsgen"
+	"contextrank/internal/par"
 	"contextrank/internal/ranksvm"
 	"contextrank/internal/relevance"
 	"contextrank/internal/world"
@@ -68,13 +69,13 @@ func (s *System) Table3(folds int, seed int64) (Table3, error) {
 	groups := s.Dataset(nil)
 	var out Table3
 	var err error
-	if out.Random, err = CrossValidate(groups, &RandomMethod{Seed: seed}, folds, seed); err != nil {
+	if out.Random, err = CrossValidateWorkers(groups, &RandomMethod{Seed: seed}, folds, seed, s.Config.Workers); err != nil {
 		return out, err
 	}
-	if out.ConceptVector, err = CrossValidate(groups, &ConceptVectorMethod{Scorer: s.Baseline}, folds, seed); err != nil {
+	if out.ConceptVector, err = CrossValidateWorkers(groups, &ConceptVectorMethod{Scorer: s.Baseline}, folds, seed, s.Config.Workers); err != nil {
 		return out, err
 	}
-	if out.AllFeatures, err = CrossValidate(groups, &LearnedMethod{Options: ranksvm.Options{Seed: seed}}, folds, seed); err != nil {
+	if out.AllFeatures, err = CrossValidateWorkers(groups, &LearnedMethod{Options: ranksvm.Options{Seed: seed}}, folds, seed, s.Config.Workers); err != nil {
 		return out, err
 	}
 	out.Ablations = make(map[features.Group]Result, features.NumGroups)
@@ -84,7 +85,7 @@ func (s *System) Table3(folds int, seed int64) (Table3, error) {
 			FeatureGroups: features.Without(g),
 			Options:       ranksvm.Options{Seed: seed},
 		}
-		r, err := CrossValidate(groups, m, folds, seed)
+		r, err := CrossValidateWorkers(groups, m, folds, seed, s.Config.Workers)
 		if err != nil {
 			return out, err
 		}
@@ -107,15 +108,15 @@ func (s *System) Table4(folds int, seed int64) (Table4, error) {
 	groups := s.Dataset(resources)
 	var out Table4
 	var err error
-	if out.Random, err = CrossValidate(groups, &RandomMethod{Seed: seed}, folds, seed); err != nil {
+	if out.Random, err = CrossValidateWorkers(groups, &RandomMethod{Seed: seed}, folds, seed, s.Config.Workers); err != nil {
 		return out, err
 	}
-	if out.ConceptVector, err = CrossValidate(groups, &ConceptVectorMethod{Scorer: s.Baseline}, folds, seed); err != nil {
+	if out.ConceptVector, err = CrossValidateWorkers(groups, &ConceptVectorMethod{Scorer: s.Baseline}, folds, seed, s.Config.Workers); err != nil {
 		return out, err
 	}
 	out.ByResource = make(map[relevance.Resource]Result, len(resources))
 	for _, r := range resources {
-		res, err := CrossValidate(groups, &RelevanceMethod{Resource: r}, folds, seed)
+		res, err := CrossValidateWorkers(groups, &RelevanceMethod{Resource: r}, folds, seed, s.Config.Workers)
 		if err != nil {
 			return out, err
 		}
@@ -141,28 +142,28 @@ func (s *System) Table5(folds int, seed int64) (Table5, error) {
 	groups := s.Dataset([]relevance.Resource{relevance.Snippets})
 	var out Table5
 	var err error
-	if out.Random, err = CrossValidate(groups, &RandomMethod{Seed: seed}, folds, seed); err != nil {
+	if out.Random, err = CrossValidateWorkers(groups, &RandomMethod{Seed: seed}, folds, seed, s.Config.Workers); err != nil {
 		return out, err
 	}
-	if out.ConceptVector, err = CrossValidate(groups, &ConceptVectorMethod{Scorer: s.Baseline}, folds, seed); err != nil {
+	if out.ConceptVector, err = CrossValidateWorkers(groups, &ConceptVectorMethod{Scorer: s.Baseline}, folds, seed, s.Config.Workers); err != nil {
 		return out, err
 	}
-	if out.BestInterest, err = CrossValidate(groups, &LearnedMethod{Options: ranksvm.Options{Seed: seed}}, folds, seed); err != nil {
+	if out.BestInterest, err = CrossValidateWorkers(groups, &LearnedMethod{Options: ranksvm.Options{Seed: seed}}, folds, seed, s.Config.Workers); err != nil {
 		return out, err
 	}
-	if out.BestRelevance, err = CrossValidate(groups, &RelevanceMethod{Resource: relevance.Snippets}, folds, seed); err != nil {
+	if out.BestRelevance, err = CrossValidateWorkers(groups, &RelevanceMethod{Resource: relevance.Snippets}, folds, seed, s.Config.Workers); err != nil {
 		return out, err
 	}
-	if out.Combined, err = CrossValidate(groups, &LearnedMethod{
+	if out.Combined, err = CrossValidateWorkers(groups, &LearnedMethod{
 		UseRelevance: true, Resource: relevance.Snippets,
 		Options: ranksvm.Options{Seed: seed},
-	}, folds, seed); err != nil {
+	}, folds, seed, s.Config.Workers); err != nil {
 		return out, err
 	}
-	if out.CombinedRBF, err = CrossValidate(groups, &LearnedMethod{
+	if out.CombinedRBF, err = CrossValidateWorkers(groups, &LearnedMethod{
 		Label: "Interestingness + Relevance (RBF)", UseRelevance: true, Resource: relevance.Snippets,
 		Options: ranksvm.Options{Seed: seed, Kernel: ranksvm.RBF, MaxPairsPerGroup: 10},
-	}, folds, seed); err != nil {
+	}, folds, seed, s.Config.Workers); err != nil {
 		return out, err
 	}
 	return out, nil
@@ -208,9 +209,6 @@ func (s *System) Table6(cfg EditorialConfig) (Table6, error) {
 	}
 	baseline := &ConceptVectorMethod{Scorer: s.Baseline}
 
-	// "A team of expert judges": a three-judge panel pooled by majority.
-	panel := editorial.NewPanel(3, cfg.Seed+100)
-
 	news := newsgen.Generate(s.World, newsgen.Config{
 		Seed: cfg.Seed + 101, NumStories: cfg.NewsDocs,
 	})
@@ -219,11 +217,14 @@ func (s *System) Table6(cfg EditorialConfig) (Table6, error) {
 		MinConcepts: 3, MaxConcepts: 5, MinSentences: 3, MaxSentences: 8,
 	})
 
+	// "A team of expert judges": every story gets its own three-judge panel
+	// (seeds derived per story inside judgeTopK), so stories are judged
+	// concurrently without the rating streams depending on judging order.
 	var out Table6
-	out.NewsRanked = s.judgeTopK(news, learned, 3, panel)
-	out.NewsCV = s.judgeTopK(news, baseline, 3, panel)
-	out.AnswersRanked = s.judgeTopK(answers, learned, 2, panel)
-	out.AnswersCV = s.judgeTopK(answers, baseline, 2, panel)
+	out.NewsRanked = s.judgeTopK(news, learned, 3, cfg.Seed+110)
+	out.NewsCV = s.judgeTopK(news, baseline, 3, cfg.Seed+111)
+	out.AnswersRanked = s.judgeTopK(answers, learned, 2, cfg.Seed+112)
+	out.AnswersCV = s.judgeTopK(answers, baseline, 2, cfg.Seed+113)
 
 	// Inter-judge agreement over a shared sample of mentions.
 	var concepts []*world.Concept
@@ -268,18 +269,27 @@ func (s *System) GroupFromStory(story *newsgen.Story, resources []relevance.Reso
 	return g
 }
 
-// judgeTopK ranks each story's entities with the method and has the panel
-// rate the top k (majority-pooled).
-func (s *System) judgeTopK(stories []newsgen.Story, m Method, k int, panel *editorial.Panel) editorial.Tally {
-	var tally editorial.Tally
-	for i := range stories {
+// judgeTopK ranks each story's entities with the method and has a
+// three-judge panel rate the top k (majority-pooled). Stories fan out
+// across Config.Workers; each story's panel draws its seed from
+// (panelSeed, story index), so the tally is bit-identical at any worker
+// count. The method is only read (Score), never fitted, inside the loop.
+func (s *System) judgeTopK(stories []newsgen.Story, m Method, k int, panelSeed int64) editorial.Tally {
+	tallies := par.Map(s.Config.Workers, len(stories), func(i int) editorial.Tally {
+		panel := editorial.NewPanel(3, par.Seed(panelSeed, i))
+		var t editorial.Tally
 		g := s.GroupFromStory(&stories[i], []relevance.Resource{relevance.Snippets})
 		scores := m.Score(&g)
 		order := argsortDesc(scores)
 		for j := 0; j < k && j < len(order); j++ {
 			ex := &g.Examples[order[j]]
-			tally.Add(panel.MajorityRate(ex.Concept, ex.Degree))
+			t.Add(panel.MajorityRate(ex.Concept, ex.Degree))
 		}
+		return t
+	})
+	var tally editorial.Tally
+	for _, t := range tallies {
+		tally.Merge(t)
 	}
 	return tally
 }
@@ -334,15 +344,18 @@ func (s *System) ProductionExperiment(topN int, numStories int, seed int64) (Pro
 	}
 
 	stories := newsgen.Generate(s.World, newsgen.Config{Seed: seed + 1, NumStories: numStories})
-	rng := rand.New(rand.NewSource(seed + 2))
 	clickCfg := s.Config.Click
 
-	var p Production
-	for i := range stories {
+	// Each story simulates its traffic from a stream derived from (seed+2,
+	// story index), so stories fan out across Config.Workers and the counts
+	// below are bit-identical at any worker count.
+	partials := par.Map(s.Config.Workers, len(stories), func(i int) Production {
 		story := &stories[i]
+		rng := rand.New(rand.NewSource(par.Seed(seed+2, i)))
 		views := 30 + rng.Intn(2000)
 		g := s.GroupFromStory(story, []relevance.Resource{relevance.Snippets})
 
+		var p Production
 		// Baseline period: every entity annotated.
 		for _, m := range story.Mentions {
 			ctr := clickCfg.TrueCTR(m.Concept, m.Degree, m.Position)
@@ -358,6 +371,15 @@ func (s *System) ProductionExperiment(topN int, numStories int, seed int64) (Pro
 			p.RankedViews += views
 			p.RankedClicks += sampleBinomial(rng, views, ctr)
 		}
+		return p
+	})
+
+	var p Production
+	for _, q := range partials {
+		p.BaselineViews += q.BaselineViews
+		p.BaselineClicks += q.BaselineClicks
+		p.RankedViews += q.RankedViews
+		p.RankedClicks += q.RankedClicks
 	}
 	return p, nil
 }

@@ -20,6 +20,17 @@ type Method interface {
 	Score(g *Group) []float64
 }
 
+// Cloneable is implemented by methods that can hand out independent copies
+// of themselves for concurrent cross-validation folds: the clone shares the
+// method's read-only configuration and resources but none of its fitted or
+// stream state. Every method in this package implements it; a method that
+// does not is evaluated with serial folds.
+type Cloneable interface {
+	// CloneMethod returns a fresh, unfitted copy whose Fit/Score sequence
+	// produces exactly what the receiver's would.
+	CloneMethod() Method
+}
+
 // RandomMethod is the random-ordering baseline (paper: 50.01% weighted
 // error). Scores are drawn fresh per group from a deterministic stream.
 type RandomMethod struct {
@@ -29,6 +40,10 @@ type RandomMethod struct {
 
 // Name implements Method.
 func (m *RandomMethod) Name() string { return "Random" }
+
+// CloneMethod implements Cloneable: the clone re-derives its stream from
+// the seed, exactly as Fit resets the receiver's.
+func (m *RandomMethod) CloneMethod() Method { return &RandomMethod{Seed: m.Seed} }
 
 // Fit implements Method (resets the stream so evaluation is reproducible).
 func (m *RandomMethod) Fit([]Group) error {
@@ -57,6 +72,9 @@ type ConceptVectorMethod struct {
 // Name implements Method.
 func (m *ConceptVectorMethod) Name() string { return "Concept Vector Score" }
 
+// CloneMethod implements Cloneable (the scorer is stateless and shared).
+func (m *ConceptVectorMethod) CloneMethod() Method { return &ConceptVectorMethod{Scorer: m.Scorer} }
+
 // Fit implements Method (the baseline is static).
 func (m *ConceptVectorMethod) Fit([]Group) error { return nil }
 
@@ -81,6 +99,9 @@ type RelevanceMethod struct {
 
 // Name implements Method.
 func (m *RelevanceMethod) Name() string { return "Relevance (" + m.Resource.String() + ")" }
+
+// CloneMethod implements Cloneable (the method is static configuration).
+func (m *RelevanceMethod) CloneMethod() Method { c := *m; return &c }
 
 // Fit implements Method (static).
 func (m *RelevanceMethod) Fit([]Group) error { return nil }
@@ -128,6 +149,15 @@ func (m *LearnedMethod) Name() string {
 		return "Interestingness + Relevance"
 	}
 	return "Interestingness Model"
+}
+
+// CloneMethod implements Cloneable: the clone shares the read-only
+// configuration (the FeatureGroups mask is never mutated) but not the
+// fitted model.
+func (m *LearnedMethod) CloneMethod() Method {
+	c := *m
+	c.model = nil
+	return &c
 }
 
 func (m *LearnedMethod) groups() map[features.Group]bool {

@@ -8,6 +8,8 @@
 package core
 
 import (
+	"sync"
+
 	"contextrank/internal/clicksim"
 	"contextrank/internal/conceptvec"
 	"contextrank/internal/detect"
@@ -34,6 +36,14 @@ type Config struct {
 	Wiki     wiki.Config
 	News     newsgen.Config
 	Click    clicksim.Config
+
+	// Workers bounds the fan-out of every parallel stage (corpus build,
+	// feature extraction, relevance mining, cross-validation folds,
+	// per-story judging): 1 forces fully serial execution, 0 selects all
+	// cores (runtime.NumCPU). Every stage collects results in input order
+	// from per-index derived seeds, so all values produce bit-identical
+	// output — the knob trades wall-clock for cores, never results.
+	Workers int
 }
 
 func (c Config) withDerivedSeeds() Config {
@@ -45,6 +55,9 @@ func (c Config) withDerivedSeeds() Config {
 	}
 	if c.Corpus.Seed == 0 {
 		c.Corpus.Seed = c.Seed + 3
+	}
+	if c.Corpus.Workers == 0 {
+		c.Corpus.Workers = c.Workers
 	}
 	if c.Wiki.Seed == 0 {
 		c.Wiki.Seed = c.Seed + 4
@@ -83,8 +96,13 @@ type System struct {
 	Cleaned []clicksim.Report
 	Groups  []clicksim.WindowGroup
 
+	// cacheMu guards the lazily-filled feature caches; relMu guards the
+	// lazily-mined relevance stores. Both are hit by concurrent experiment
+	// workers, so every access goes through the accessors below.
+	cacheMu       sync.RWMutex
 	fieldsCache   map[string]features.Fields
 	extendedCache map[string]features.ExtendedFields
+	relMu         sync.Mutex
 	relStores     map[relevance.Resource]*relevance.Store
 }
 
@@ -117,30 +135,101 @@ func Build(cfg Config) *System {
 }
 
 // Fields returns the (cached) interestingness feature record for a concept.
+// Safe for concurrent callers; a cache miss recomputes outside the lock
+// (the record is a pure function of read-only resources, so a racing
+// double-compute stores the same value).
 func (s *System) Fields(concept string) features.Fields {
-	if f, ok := s.fieldsCache[concept]; ok {
+	s.cacheMu.RLock()
+	f, ok := s.fieldsCache[concept]
+	s.cacheMu.RUnlock()
+	if ok {
 		return f
 	}
-	f := s.Extractor.Fields(concept)
+	f = s.Extractor.Fields(concept)
+	s.cacheMu.Lock()
 	s.fieldsCache[concept] = f
+	s.cacheMu.Unlock()
 	return f
 }
 
 // ExtendedFields returns the (cached) eliminated candidate features for a
-// concept (see features.ExtendedFields).
+// concept (see features.ExtendedFields). Safe for concurrent callers.
 func (s *System) ExtendedFields(concept string) features.ExtendedFields {
-	if x, ok := s.extendedCache[concept]; ok {
+	s.cacheMu.RLock()
+	x, ok := s.extendedCache[concept]
+	s.cacheMu.RUnlock()
+	if ok {
 		return x
 	}
-	x := s.Extractor.Extended(concept)
+	x = s.Extractor.Extended(concept)
+	s.cacheMu.Lock()
 	s.extendedCache[concept] = x
+	s.cacheMu.Unlock()
 	return x
+}
+
+// WarmFields batch-extracts the feature records of every listed concept
+// not already cached, fanning the extraction across Config.Workers. The
+// cache ends up in the same state as serial lazy filling — warming is a
+// pure wall-clock optimization.
+func (s *System) WarmFields(concepts []string) {
+	missing := s.missingFrom(concepts, func(c string) bool {
+		_, ok := s.fieldsCache[c]
+		return ok
+	})
+	if len(missing) == 0 {
+		return
+	}
+	fields := s.Extractor.BatchFields(missing, s.Config.Workers)
+	s.cacheMu.Lock()
+	for i, c := range missing {
+		s.fieldsCache[c] = fields[i]
+	}
+	s.cacheMu.Unlock()
+}
+
+// WarmExtendedFields is WarmFields for the eliminated candidate features.
+func (s *System) WarmExtendedFields(concepts []string) {
+	missing := s.missingFrom(concepts, func(c string) bool {
+		_, ok := s.extendedCache[c]
+		return ok
+	})
+	if len(missing) == 0 {
+		return
+	}
+	ext := s.Extractor.BatchExtended(missing, s.Config.Workers)
+	s.cacheMu.Lock()
+	for i, c := range missing {
+		s.extendedCache[c] = ext[i]
+	}
+	s.cacheMu.Unlock()
+}
+
+// missingFrom returns the deduplicated concepts not yet cached, in
+// first-seen order.
+func (s *System) missingFrom(concepts []string, cached func(string) bool) []string {
+	s.cacheMu.RLock()
+	defer s.cacheMu.RUnlock()
+	seen := make(map[string]bool, len(concepts))
+	var missing []string
+	for _, c := range concepts {
+		if seen[c] || cached(c) {
+			continue
+		}
+		seen[c] = true
+		missing = append(missing, c)
+	}
+	return missing
 }
 
 // RelevanceStore returns the (lazily-built) relevant-keyword store for a
 // resource, mined over every concept that appears in the click data plus
-// every world concept (so unseen test concepts are covered too).
+// every world concept (so unseen test concepts are covered too). Safe for
+// concurrent callers: the first one builds (itself fanning out across
+// Config.Workers) while the rest wait.
 func (s *System) RelevanceStore(r relevance.Resource) *relevance.Store {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
 	if st, ok := s.relStores[r]; ok {
 		return st
 	}
@@ -148,7 +237,7 @@ func (s *System) RelevanceStore(r relevance.Resource) *relevance.Store {
 	for i := range s.World.Concepts {
 		names[i] = s.World.Concepts[i].Name
 	}
-	st := relevance.BuildStore(s.Miner, names, r)
+	st := relevance.BuildStoreWorkers(s.Miner, names, r, s.Config.Workers)
 	s.relStores[r] = st
 	return st
 }

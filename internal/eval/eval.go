@@ -44,6 +44,17 @@ func (a *Accumulator) Add(pred, truth []float64) {
 	}
 }
 
+// Merge folds another accumulator's tallies into a. Merging per-fold
+// accumulators in fold order reproduces, bit for bit, what serial
+// accumulation over the same fold/document order would produce — the
+// property the parallel cross-validation driver relies on.
+func (a *Accumulator) Merge(b Accumulator) {
+	a.mistakes += b.mistakes
+	a.pairs += b.pairs
+	a.wMistakes += b.wMistakes
+	a.wTotal += b.wTotal
+}
+
 // Pairs returns the number of preference pairs seen.
 func (a *Accumulator) Pairs() float64 { return a.pairs }
 

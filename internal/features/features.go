@@ -19,6 +19,7 @@ package features
 import (
 	"math"
 
+	"contextrank/internal/par"
 	"contextrank/internal/querylog"
 	"contextrank/internal/searchsim"
 	"contextrank/internal/taxonomy"
@@ -146,7 +147,9 @@ func (f Fields) Expand(include map[Group]bool) []float64 {
 	return out
 }
 
-// Extractor computes Fields from the mined resources.
+// Extractor computes Fields from the mined resources. It holds no mutable
+// state — every resource is read-only after its build — so one Extractor is
+// safe for any number of concurrent callers.
 type Extractor struct {
 	log    *querylog.Log
 	units  *units.Set
@@ -185,6 +188,23 @@ func (e *Extractor) Fields(concept string) Fields {
 		f.WikiWordCount = math.Log1p(float64(e.wiki.WordCount(concept)))
 	}
 	return f
+}
+
+// BatchFields extracts the feature records for a concept list, fanning the
+// per-concept extraction across workers (see par.Workers for the knob's
+// semantics). Results are in input order and bit-identical to a serial
+// loop: each concept's record depends only on the read-only resources.
+func (e *Extractor) BatchFields(concepts []string, workers int) []Fields {
+	return par.Map(workers, len(concepts), func(i int) Fields {
+		return e.Fields(concepts[i])
+	})
+}
+
+// BatchExtended is BatchFields for the eliminated candidate features.
+func (e *Extractor) BatchExtended(concepts []string, workers int) []ExtendedFields {
+	return par.Map(workers, len(concepts), func(i int) ExtendedFields {
+		return e.Extended(concepts[i])
+	})
 }
 
 func countTerms(s string) int {

@@ -14,11 +14,10 @@ package relevance
 
 import (
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"contextrank/internal/corpus"
+	"contextrank/internal/par"
 	"contextrank/internal/searchsim"
 	"contextrank/internal/stem"
 	"contextrank/internal/textproc"
@@ -201,50 +200,27 @@ type Store struct {
 	terms    map[string]corpus.Vector
 }
 
-// BuildStore mines all concepts with the given resource, fanning the
-// per-concept mining across workers: it is the slowest offline step (one
-// search + snippet pass per concept) and each concept is independent. The
-// result is deterministic regardless of worker scheduling.
+// BuildStore mines all concepts with the given resource on all cores; see
+// BuildStoreWorkers for the knob.
 func BuildStore(mn *Miner, concepts []string, r Resource) *Store {
-	s := &Store{resource: r, terms: make(map[string]corpus.Vector, len(concepts))}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(concepts) {
-		workers = len(concepts)
+	return BuildStoreWorkers(mn, concepts, r, 0)
+}
+
+// BuildStoreWorkers mines all concepts with the given resource, fanning the
+// per-concept mining across workers (par.Workers semantics: 1 = serial,
+// 0 = all cores): it is the slowest offline step (one search + snippet pass
+// per concept) and each concept is independent. Results are collected in
+// concept order, so the store is bit-identical regardless of worker count
+// or scheduling.
+func BuildStoreWorkers(mn *Miner, concepts []string, r Resource, workers int) *Store {
+	vecs := par.Map(workers, len(concepts), func(i int) corpus.Vector {
+		return mn.Mine(concepts[i], r)
+	})
+	terms := make(map[string]corpus.Vector, len(concepts))
+	for i, c := range concepts {
+		terms[c] = vecs[i]
 	}
-	if workers <= 1 {
-		for _, c := range concepts {
-			s.terms[c] = mn.Mine(c, r)
-		}
-		return s
-	}
-	type result struct {
-		concept string
-		terms   corpus.Vector
-	}
-	jobs := make(chan string)
-	results := make(chan result)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range jobs {
-				results <- result{concept: c, terms: mn.Mine(c, r)}
-			}
-		}()
-	}
-	go func() {
-		for _, c := range concepts {
-			jobs <- c
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-	for res := range results {
-		s.terms[res.concept] = res.terms
-	}
-	return s
+	return &Store{resource: r, terms: terms}
 }
 
 // NewStore wraps pre-computed vectors (used by the framework's packed

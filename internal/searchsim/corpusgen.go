@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 
+	"contextrank/internal/par"
+	"contextrank/internal/textproc"
 	"contextrank/internal/world"
 )
 
@@ -19,6 +21,10 @@ type CorpusConfig struct {
 	BackgroundDocs int
 	// DocSentences is the approximate length of corpus documents. Default 10.
 	DocSentences int
+	// Workers bounds the generation fan-out: 1 forces serial generation,
+	// 0 selects all cores. Output is bit-identical for every value (each
+	// shard owns a seed derived from Seed and the shard index).
+	Workers int
 }
 
 func (c CorpusConfig) withDefaults(w *world.World) CorpusConfig {
@@ -34,6 +40,19 @@ func (c CorpusConfig) withDefaults(w *world.World) CorpusConfig {
 	return c
 }
 
+// rawDoc is one generated-but-not-yet-indexed document: text composed and
+// tokenized in a worker, merged into the engine serially.
+type rawDoc struct {
+	text   string
+	tokens []string
+	topic  int
+}
+
+// backgroundShardSize bounds how many background documents one shard
+// generates, so the background tail spreads across workers. Part of the
+// seed-derivation layout: changing it changes the generated corpus.
+const backgroundShardSize = 64
+
 // BuildCorpus generates the synthetic web corpus and indexes it, yielding
 // the engine every feature miner queries. Two properties of the paper's web
 // are reproduced structurally:
@@ -45,59 +64,92 @@ func (c CorpusConfig) withDefaults(w *world.World) CorpusConfig {
 //     terms, whereas mentions of general/low-quality phrases are scattered
 //     across random topics, so their mined keywords stay diffuse (the
 //     Table II effect).
+//
+// Generation and tokenization fan out across cfg.Workers: shard i covers
+// concept i (the last shards cover background documents), each shard draws
+// from rand.NewSource(par.Seed(cfg.Seed, i)), and the shards are indexed in
+// shard order on one goroutine — so the corpus is bit-identical regardless
+// of worker count or scheduling.
 func BuildCorpus(w *world.World, cfg CorpusConfig) *Engine {
 	cfg = cfg.withDefaults(w)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	e := NewEngine()
 
-	for i := range w.Concepts {
-		c := &w.Concepts[i]
-		// Document count: monotone in generality (feature 4 needs general
-		// concepts to return more results) but with a floor, so specific
-		// concepts still have a deep snippet pool — the Table II contrast
-		// comes from *clustering*, not from result starvation.
-		frac := 0.5 + 0.35*math.Pow(1-c.Specificity, 1.3) + 0.15*c.Interest
-		n := 1 + int(float64(cfg.MaxDocsPerConcept)*frac)
-		// Fraction of mentions that are on-topic, coherent documents.
-		relevantFrac := 0.1 + 0.85*math.Sqrt(c.Quality*c.Specificity)
-		for d := 0; d < n; d++ {
-			relevant := c.Topic >= 0 && rng.Float64() < relevantFrac
-			topic := c.Topic
-			if !relevant || topic < 0 {
-				topic = rng.Intn(len(w.Topics))
-			}
-			// Ambiguous concepts split their coherent documents between
-			// senses, which dilutes global clustering (paper §IV-C).
-			if relevant && c.Ambiguous() && rng.Intn(2) == 0 {
-				topic = c.SecondaryTopic
-			}
-			onTopic := relevant && topic == c.Topic
-			repeat := 1 + rng.Intn(2)
-			if onTopic {
-				// Coherent documents are *about* the concept: several
-				// mentions, each sentence dense in its context terms.
-				repeat = 2 + rng.Intn(3)
-			}
-			text, _ := w.ComposeDoc(world.ComposeOptions{
-				Topic:          topic,
-				Sentences:      cfg.DocSentences/2 + rng.Intn(cfg.DocSentences),
-				ContextDensity: 0.9,
-			}, []world.Mention{{
-				Concept:  c,
-				Relevant: onTopic,
-				Repeat:   repeat,
-			}}, rng)
-			e.Add(text, topic)
+	nConcepts := len(w.Concepts)
+	nBackground := (cfg.BackgroundDocs + backgroundShardSize - 1) / backgroundShardSize
+	shards := par.Map(cfg.Workers, nConcepts+nBackground, func(i int) []rawDoc {
+		rng := rand.New(rand.NewSource(par.Seed(cfg.Seed, i)))
+		if i < nConcepts {
+			return conceptDocs(w, &w.Concepts[i], cfg, rng)
+		}
+		lo := (i - nConcepts) * backgroundShardSize
+		hi := lo + backgroundShardSize
+		if hi > cfg.BackgroundDocs {
+			hi = cfg.BackgroundDocs
+		}
+		return backgroundDocs(w, cfg, hi-lo, rng)
+	})
+
+	e := NewEngine()
+	for _, shard := range shards {
+		for _, d := range shard {
+			e.addTokenized(d.text, d.tokens, d.topic)
 		}
 	}
+	return e
+}
 
-	for d := 0; d < cfg.BackgroundDocs; d++ {
+// conceptDocs generates every corpus document mentioning one concept.
+func conceptDocs(w *world.World, c *world.Concept, cfg CorpusConfig, rng *rand.Rand) []rawDoc {
+	// Document count: monotone in generality (feature 4 needs general
+	// concepts to return more results) but with a floor, so specific
+	// concepts still have a deep snippet pool — the Table II contrast
+	// comes from *clustering*, not from result starvation.
+	frac := 0.5 + 0.35*math.Pow(1-c.Specificity, 1.3) + 0.15*c.Interest
+	n := 1 + int(float64(cfg.MaxDocsPerConcept)*frac)
+	// Fraction of mentions that are on-topic, coherent documents.
+	relevantFrac := 0.1 + 0.85*math.Sqrt(c.Quality*c.Specificity)
+	docs := make([]rawDoc, 0, n)
+	for d := 0; d < n; d++ {
+		relevant := c.Topic >= 0 && rng.Float64() < relevantFrac
+		topic := c.Topic
+		if !relevant || topic < 0 {
+			topic = rng.Intn(len(w.Topics))
+		}
+		// Ambiguous concepts split their coherent documents between
+		// senses, which dilutes global clustering (paper §IV-C).
+		if relevant && c.Ambiguous() && rng.Intn(2) == 0 {
+			topic = c.SecondaryTopic
+		}
+		onTopic := relevant && topic == c.Topic
+		repeat := 1 + rng.Intn(2)
+		if onTopic {
+			// Coherent documents are *about* the concept: several
+			// mentions, each sentence dense in its context terms.
+			repeat = 2 + rng.Intn(3)
+		}
+		text, _ := w.ComposeDoc(world.ComposeOptions{
+			Topic:          topic,
+			Sentences:      cfg.DocSentences/2 + rng.Intn(cfg.DocSentences),
+			ContextDensity: 0.9,
+		}, []world.Mention{{
+			Concept:  c,
+			Relevant: onTopic,
+			Repeat:   repeat,
+		}}, rng)
+		docs = append(docs, rawDoc{text: text, tokens: textproc.Words(text), topic: topic})
+	}
+	return docs
+}
+
+// backgroundDocs generates n concept-free documents.
+func backgroundDocs(w *world.World, cfg CorpusConfig, n int, rng *rand.Rand) []rawDoc {
+	docs := make([]rawDoc, 0, n)
+	for d := 0; d < n; d++ {
 		topic := rng.Intn(len(w.Topics))
 		text, _ := w.ComposeDoc(world.ComposeOptions{
 			Topic:     topic,
 			Sentences: cfg.DocSentences/2 + rng.Intn(cfg.DocSentences),
 		}, nil, rng)
-		e.Add(text, topic)
+		docs = append(docs, rawDoc{text: text, tokens: textproc.Words(text), topic: topic})
 	}
-	return e
+	return docs
 }

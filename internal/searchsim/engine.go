@@ -48,7 +48,13 @@ func NewEngine() *Engine {
 
 // Add indexes a document and returns its ID.
 func (e *Engine) Add(text string, topic int) int {
-	tokens := textproc.Words(text)
+	return e.addTokenized(text, textproc.Words(text), topic)
+}
+
+// addTokenized indexes a document whose tokens were computed by the caller
+// (the parallel corpus builder tokenizes in its workers and merges here, in
+// input order, on one goroutine).
+func (e *Engine) addTokenized(text string, tokens []string, topic int) int {
 	id := len(e.Docs)
 	e.Docs = append(e.Docs, Doc{ID: id, Text: text, Tokens: tokens, Topic: topic})
 	for pos, term := range tokens {
