@@ -1,28 +1,48 @@
 // Command serve runs the Contextual Shortcuts annotation service: it builds
 // (or loads) the offline bundle, assembles the production runtime and
-// serves the HTTP API from internal/serve.
+// serves the HTTP API from internal/serve behind the resilience layer —
+// per-request deadlines, admission control, panic recovery, graceful
+// degradation, and SIGTERM-driven draining.
 //
 // Usage:
 //
 //	serve -addr :8080                 # build a small world, train, serve
 //	serve -bundle bundle.bin          # load a previously saved bundle
 //	serve -save bundle.bin            # train, save the bundle, then serve
+//	serve -selftest 200               # serve, probe itself under chaos, exit
 //
 // Try it:
 //
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz
 //	curl -s -X POST localhost:8080/v1/annotate -d '{"text":"...","top":3}'
+//
+// Chaos flags (-chaos-*) enable deterministic fault injection: with a
+// fixed -chaos-seed the exact same requests hit the exact same faults on
+// every run, which is how the recovery counters in /statz are asserted in
+// CI.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"contextrank"
 	"contextrank/internal/annotate"
+	"contextrank/internal/par"
+	"contextrank/internal/resilience"
 	"contextrank/internal/searchsim"
 	"contextrank/internal/serve"
 )
@@ -32,6 +52,20 @@ func main() {
 	seed := flag.Int64("seed", 42, "world seed")
 	bundlePath := flag.String("bundle", "", "load the offline bundle from this file instead of training")
 	savePath := flag.String("save", "", "after training, save the bundle here")
+
+	requestTimeout := flag.Duration("request-timeout", 2*time.Second, "per-request annotation deadline (0 = none)")
+	maxInflight := flag.Int("max-inflight", 64, "admission gate: max concurrent annotation requests")
+	queueLen := flag.Int("queue", 32, "admission gate: wait-queue length beyond the in-flight bound")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "admission gate: max time a request waits for a slot")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline after SIGTERM")
+
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (used when any -chaos-*-p is > 0)")
+	chaosLatencyP := flag.Float64("chaos-latency-p", 0, "probability of an injected latency spike per request")
+	chaosSpike := flag.Duration("chaos-spike", 250*time.Millisecond, "injected latency spike duration")
+	chaosPanicP := flag.Float64("chaos-panic-p", 0, "probability of an injected handler panic per request")
+	chaosWriteP := flag.Float64("chaos-writefail-p", 0, "probability of an injected response-write failure per request")
+
+	selftest := flag.Int("selftest", 0, "serve, fire this many probe requests at the service through the retrying client, report, and exit")
 	flag.Parse()
 
 	fmt.Fprintln(os.Stderr, "building world...")
@@ -80,15 +114,173 @@ func main() {
 	})
 
 	srv := serve.NewServer(ranker.Runtime(), renderer)
+	srv.Timeout = *requestTimeout
+	srv.Gate = resilience.NewGate(*maxInflight, *queueLen, *queueWait)
+	if *chaosLatencyP > 0 || *chaosPanicP > 0 || *chaosWriteP > 0 {
+		srv.Injector = resilience.NewInjector(resilience.InjectorConfig{
+			Seed:         *chaosSeed,
+			LatencyP:     *chaosLatencyP,
+			LatencySpike: *chaosSpike,
+			PanicP:       *chaosPanicP,
+			WriteFailP:   *chaosWriteP,
+		})
+		fmt.Fprintf(os.Stderr, "chaos injection enabled (seed %d)\n", *chaosSeed)
+	}
+
 	httpServer := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		// WriteTimeout must exceed the worst admitted request: queue wait
+		// + request deadline + degraded fallback + response write.
+		WriteTimeout: writeTimeout(*requestTimeout, *queueWait),
+		IdleTimeout:  120 * time.Second,
 	}
-	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
-	if err := httpServer.ListenAndServe(); err != nil {
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fatal(err)
 	}
+
+	if *selftest > 0 {
+		if err := runSelfTest(httpServer, srv, ln, *selftest, *seed, os.Stderr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Fprintf(os.Stderr, "serving on %s\n", ln.Addr())
+	if err := serveUntilSignal(httpServer, srv, ln, sig, *drainTimeout, os.Stderr); err != nil {
+		fatal(err)
+	}
+}
+
+// writeTimeout sizes the http.Server write deadline around the request
+// budget so the server-level timeout never fires before the application
+// deadline has had a chance to degrade gracefully.
+func writeTimeout(requestTimeout, queueWait time.Duration) time.Duration {
+	const floor = 30 * time.Second
+	if budget := 2*requestTimeout + queueWait + 5*time.Second; budget > floor {
+		return budget
+	}
+	return floor
+}
+
+// serveUntilSignal serves until the listener fails or a shutdown signal
+// arrives. On signal it flips readiness off (load balancers stop sending
+// traffic), stops accepting, drains in-flight requests within the drain
+// deadline, and returns nil for a clean exit-0. http.ErrServerClosed is
+// the normal end of a drained server, never an error.
+func serveUntilSignal(httpServer *http.Server, srv *serve.Server, ln net.Listener, sig <-chan os.Signal, drain time.Duration, logw io.Writer) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case s := <-sig:
+		fmt.Fprintf(logw, "signal %v: draining (deadline %s)\n", s, drain)
+		srv.SetReady(false)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain incomplete: %w", err)
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) && err != nil {
+			return err
+		}
+		fmt.Fprintln(logw, "drained cleanly")
+		return nil
+	}
+}
+
+// selfTestDoc is the document the -selftest probe annotates: it exercises
+// pattern detection plus whatever concepts the small world mined.
+const selfTestDoc = "Contact press@example.com about the market report and the latest trade figures from https://example.com/news today."
+
+// runSelfTest is the load probe: it serves on ln, fires n annotate
+// requests through the retrying client (concurrently, with seeded backoff
+// jitter), requires every probe to eventually produce a valid response,
+// then drains the server. It validates the full resilience loop end to
+// end — under -chaos-* flags the probes ride through injected panics and
+// write failures on retries alone.
+func runSelfTest(httpServer *http.Server, srv *serve.Server, ln net.Listener, n int, seed int64, logw io.Writer) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(logw, "selftest: probing %s with %d requests\n", base, n)
+
+	client := resilience.NewRetryClient(http.DefaultClient, seed)
+	client.MaxAttempts = 6
+	client.BaseDelay = 20 * time.Millisecond
+	client.MaxDelay = 500 * time.Millisecond
+
+	var failed, degraded atomic.Int64
+	workers := 8
+	if n < workers {
+		workers = n
+	}
+	par.For(workers, n, func(i int) {
+		if ok, deg := probeOnce(client, base); !ok {
+			failed.Add(1)
+		} else if deg {
+			degraded.Add(1)
+		}
+	})
+
+	srv.SetReady(false)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(ctx); err != nil {
+		return fmt.Errorf("selftest drain: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) && err != nil {
+		return err
+	}
+
+	snap := srv.ResilienceSnapshot()
+	fmt.Fprintf(logw, "selftest: %d/%d ok (%d degraded) — recovered_panics=%d shed=%d deadline_expired=%d\n",
+		int64(n)-failed.Load(), n, degraded.Load(), snap.PanicsRecovered, snap.Shed, snap.DeadlineExpired)
+	if failed.Load() > 0 {
+		return fmt.Errorf("selftest: %d/%d probes never succeeded", failed.Load(), n)
+	}
+	return nil
+}
+
+// probeOnce sends one annotate request and validates the response shape.
+// Transport errors, retryable statuses, and truncated bodies are retried
+// by the client; a handful of empty-body responses (injected write
+// failures surface to the client as a 200 with no body) get app-level
+// retries here.
+func probeOnce(client *resilience.RetryClient, base string) (ok, degraded bool) {
+	payload, err := json.Marshal(serve.AnnotateRequest{Text: selfTestDoc, Top: 3})
+	if err != nil {
+		return false, false
+	}
+	for attempt := 0; attempt < 5; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/annotate", bytes.NewReader(payload))
+		if err != nil {
+			return false, false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, body, err := client.DoRead(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var ar serve.AnnotateResponse
+		if json.Unmarshal(body, &ar) != nil || ar.Text == "" {
+			continue // truncated/empty body: injected write failure
+		}
+		return true, ar.Degraded
+	}
+	return false, false
 }
 
 func fatal(err error) {

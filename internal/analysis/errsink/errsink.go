@@ -32,8 +32,11 @@ import (
 	"contextrank/internal/analysis/kwutil"
 )
 
-// DefaultPackages scopes the analyzer to the HTTP serve layer.
-const DefaultPackages = "internal/serve"
+// DefaultPackages scopes the analyzer to the HTTP serve layer and the
+// resilience middleware that wraps it — a dropped write error in the
+// chaos/recovery path would silently desynchronize the fault counters
+// the CI chaos job asserts on.
+const DefaultPackages = "internal/serve,internal/resilience"
 
 var scope = kwutil.NewScope(DefaultPackages)
 

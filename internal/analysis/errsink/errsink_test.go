@@ -10,6 +10,7 @@ import (
 func TestErrSink(t *testing.T) {
 	atest.Run(t, "../testdata", errsink.Analyzer,
 		"internal/serve",
+		"internal/resilience",
 		"notserve",
 	)
 }

@@ -1,0 +1,54 @@
+// Fixture for the errsink analyzer: internal/resilience is inside the
+// errsink scope — middleware that writes shed/degraded/recovery
+// responses must consume every write error, or the chaos counters and
+// the bytes on the wire can disagree.
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// --- flagging cases ---
+
+func shedDroppingBody(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusTooManyRequests)
+	fmt.Fprintln(w, "overloaded") // want `error from fmt.Fprintln is silently dropped`
+}
+
+func recoverDroppingWrite(w http.ResponseWriter, msg []byte) {
+	w.WriteHeader(http.StatusInternalServerError)
+	w.Write(msg) // want `\.Write is silently dropped`
+}
+
+func degradedDroppingEncode(w http.ResponseWriter, snapshot any) {
+	json.NewEncoder(w).Encode(snapshot) // want `error from json.Encoder.Encode is silently dropped`
+}
+
+func drainDroppingCopy(dst io.Writer, src io.Reader) {
+	io.Copy(dst, src) // want `error from io.Copy is silently dropped`
+}
+
+// --- non-flagging cases ---
+
+func shedChecked(w http.ResponseWriter) error {
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_, err := fmt.Fprintln(w, "overloaded")
+	return err
+}
+
+func degradedCounted(w http.ResponseWriter, snapshot any, writeErrors *int64) {
+	if err := json.NewEncoder(w).Encode(snapshot); err != nil {
+		*writeErrors++
+	}
+}
+
+// Draining a response body before retry: the byte count and error are
+// deliberately irrelevant, and the discard says so.
+func drainDiscard(body io.Reader) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<16))
+}

@@ -1,0 +1,38 @@
+// Fixture extension for the seededrand analyzer: the fault-injector
+// pattern from internal/resilience — per-request RNG streams derived
+// from an injected seed by a splitmix-style mixer are fine; injectors
+// that bake in a constant or the wall clock are not.
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// --- flagging cases ---
+
+func injectorHardCoded() *rand.Rand {
+	return rand.New(rand.NewSource(0xC0FFEE)) // want `hard-coded seed for rand.NewSource`
+}
+
+func injectorWallClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().Unix())) // want `time-derived seed for rand.NewSource`
+}
+
+// --- non-flagging cases ---
+
+type injectorConfig struct{ Seed int64 }
+
+// mixStream is the splitmix64-finalizer idiom from internal/par.Seed:
+// deriving a per-request stream from an injected base seed keeps the
+// stream deterministic without sharing one locked source.
+func mixStream(seed int64, index int) int64 {
+	z := uint64(seed) + uint64(index+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+func injectorPerRequest(cfg injectorConfig, requestIndex int) *rand.Rand {
+	return rand.New(rand.NewSource(mixStream(cfg.Seed, requestIndex)))
+}

@@ -1,6 +1,7 @@
 package framework
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -68,13 +69,43 @@ const LocalRadius = 300
 // entities are not subject to any relevance calculations [and] are always
 // annotated").
 func (rt *Runtime) Annotate(text string, topN int) []Annotation {
+	// context.Background never cancels, so the error is impossible.
+	anns, _ := rt.AnnotateCtx(context.Background(), text, topN)
+	return anns
+}
+
+// cancelCheckEvery is how many ranking iterations run between cooperative
+// ctx checks: frequent enough that a deadline interrupts a pathological
+// document in well under a millisecond, rare enough that the atomic load
+// never shows up in the §VI throughput numbers.
+const cancelCheckEvery = 64
+
+// AnnotateCtx is Annotate with cooperative cancellation: the per-request
+// deadline set by the serving layer is checked between pipeline stages and
+// every cancelCheckEvery detections inside the ranking loop. On expiry it
+// returns ctx.Err() and a nil slice — the caller (internal/serve) decides
+// whether to degrade to the cheap ranking or fail the request. Timing
+// accumulators only record completed documents, so an abandoned request
+// cannot skew the throughput experiment.
+func (rt *Runtime) AnnotateCtx(ctx context.Context, text string, topN int) ([]Annotation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rt.StemDoc(text) // the stemmer stage of Figure 4 (timed separately)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	start := time.Now()
 	detections := rt.Pipeline.Detect(text)
 
 	var patterns, ranked []Annotation
-	for _, d := range detections {
+	for i, d := range detections {
+		if i%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if d.Kind == detect.KindPattern {
 			patterns = append(patterns, Annotation{Detection: d})
 			continue
@@ -103,26 +134,69 @@ func (rt *Runtime) Annotate(text string, topN int) []Annotation {
 		// The paper's tie-break: favor the higher relevance score.
 		return ranked[i].Relevance > ranked[j].Relevance
 	})
-	if topN > 0 {
-		// Keep the top-N *distinct* concepts; every occurrence of a kept
-		// concept stays annotated ("an application can then choose the top
-		// N entities from this ranked list").
-		kept := make(map[string]bool, topN)
-		out := ranked[:0]
-		for _, a := range ranked {
-			if !kept[a.Detection.Norm] {
-				if len(kept) == topN {
-					continue
-				}
-				kept[a.Detection.Norm] = true
-			}
-			out = append(out, a)
-		}
-		ranked = out
-	}
+	ranked = keepTopConcepts(ranked, topN)
 	rt.rankNanos.Add(time.Since(start).Nanoseconds())
 	rt.bytesProcessed.Add(int64(len(text)))
-	return append(patterns, ranked...)
+	return append(patterns, ranked...), nil
+}
+
+// keepTopConcepts keeps the top-N *distinct* concepts of a ranked slice;
+// every occurrence of a kept concept stays annotated ("an application can
+// then choose the top N entities from this ranked list"). topN ≤ 0 keeps
+// everything.
+func keepTopConcepts(ranked []Annotation, topN int) []Annotation {
+	if topN <= 0 {
+		return ranked
+	}
+	kept := make(map[string]bool, topN)
+	out := ranked[:0]
+	for _, a := range ranked {
+		if !kept[a.Detection.Norm] {
+			if len(kept) == topN {
+				continue
+			}
+			kept[a.Detection.Norm] = true
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// AnnotateDegraded is the graceful-degradation path: a dictionary-score
+// ranking that skips the expensive stages — no stemming pass, no keyword
+// pack scoring, no model evaluation — and orders concepts by their static
+// FreqExact interestingness field (the click-dictionary prior quantized
+// into the interest table). It exists so that, under shedding pressure or
+// deadline exhaustion, the serving layer can still answer with plausible
+// annotations instead of an error. Output contract: same shape as
+// Annotate (patterns first, then ranked concepts, top-N dedup), Relevance
+// always 0, deterministic order (score desc, concept name asc, position
+// asc on ties). Not recorded in the throughput accumulators — it is not
+// the Figure 4 pipeline.
+func (rt *Runtime) AnnotateDegraded(text string, topN int) []Annotation {
+	detections := rt.Pipeline.Detect(text)
+	var patterns, ranked []Annotation
+	for _, d := range detections {
+		if d.Kind == detect.KindPattern {
+			patterns = append(patterns, Annotation{Detection: d})
+			continue
+		}
+		fields, ok := rt.Interest.Fields(d.Norm)
+		if !ok {
+			continue
+		}
+		ranked = append(ranked, Annotation{Detection: d, Score: fields.FreqExact})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		if ranked[i].Detection.Norm != ranked[j].Detection.Norm {
+			return ranked[i].Detection.Norm < ranked[j].Detection.Norm
+		}
+		return ranked[i].Detection.Start < ranked[j].Detection.Start
+	})
+	return append(patterns, keepTopConcepts(ranked, topN)...)
 }
 
 // localTIDs maps the stemmed content words near [start,end) to the Global

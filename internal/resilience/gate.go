@@ -1,0 +1,85 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrShed is returned by Gate.Acquire when the request cannot be admitted:
+// every slot is busy and either the wait queue is full or the queue wait
+// timed out. Callers translate it into policy (429, degraded response).
+var ErrShed = errors.New("resilience: admission gate shed request")
+
+// Gate is the admission controller: at most capacity requests run
+// concurrently, at most queueLen more wait up to maxWait for a slot, and
+// everything beyond that is shed immediately. Bounding both dimensions
+// keeps latency under overload flat — a request either runs soon or is
+// refused fast, never parked in an unbounded FIFO until the box tips over.
+type Gate struct {
+	slots   chan struct{}
+	queue   chan struct{}
+	maxWait time.Duration
+}
+
+// NewGate builds a gate. capacity is clamped to ≥1; queueLen to ≥0. A
+// maxWait ≤ 0 disables waiting: when no slot is free the request is shed
+// on the spot regardless of queueLen.
+func NewGate(capacity, queueLen int, maxWait time.Duration) *Gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if queueLen < 0 {
+		queueLen = 0
+	}
+	return &Gate{
+		slots:   make(chan struct{}, capacity),
+		queue:   make(chan struct{}, queueLen),
+		maxWait: maxWait,
+	}
+}
+
+// Acquire admits the request or refuses it. On success the returned
+// release function must be called exactly once when the request's gated
+// work is done. On refusal it returns ErrShed (gate full) or the context
+// error (caller's deadline expired while queued).
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a slot is free right now.
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	default:
+	}
+	if g.maxWait <= 0 {
+		return nil, ErrShed
+	}
+	// Join the bounded wait queue, or shed if it is full too.
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		return nil, ErrShed
+	}
+	defer func() { <-g.queue }()
+
+	timer := time.NewTimer(g.maxWait)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	case <-timer.C:
+		return nil, ErrShed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) release() { <-g.slots }
+
+// InFlight is the number of admitted requests currently holding a slot.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// QueueDepth is the number of requests currently waiting for a slot.
+func (g *Gate) QueueDepth() int { return len(g.queue) }
+
+// Capacity is the concurrent-request bound.
+func (g *Gate) Capacity() int { return cap(g.slots) }

@@ -1,0 +1,120 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsUpToCapacity(t *testing.T) {
+	g := NewGate(2, 0, 0)
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2", g.InFlight())
+	}
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("third acquire err = %v, want ErrShed", err)
+	}
+	r1()
+	r3, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+	r3()
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight after releases = %d", g.InFlight())
+	}
+}
+
+func TestGateQueueWaitsForSlot(t *testing.T) {
+	g := NewGate(1, 1, time.Second)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		got <- err
+	}()
+	// Wait until the second request is parked in the queue, then free the
+	// slot: the queued request must be admitted, not shed.
+	for i := 0; i < 1000 && g.QueueDepth() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g.QueueDepth() != 1 {
+		t.Fatalf("QueueDepth = %d, want 1", g.QueueDepth())
+	}
+	release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire err = %v", err)
+	}
+}
+
+func TestGateQueueOverflowSheds(t *testing.T) {
+	g := NewGate(1, 1, 50*time.Millisecond)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	var wg sync.WaitGroup
+	queued := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := g.Acquire(context.Background())
+		queued <- err
+	}()
+	for i := 0; i < 1000 && g.QueueDepth() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	// Queue holds one waiter; the next arrival must shed instantly.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("overflow acquire err = %v, want ErrShed", err)
+	}
+	// The queued waiter sheds after maxWait since the slot never frees.
+	if err := <-queued; !errors.Is(err, ErrShed) {
+		t.Fatalf("queued acquire err = %v, want ErrShed after maxWait", err)
+	}
+	wg.Wait()
+}
+
+func TestGateHonorsContextWhileQueued(t *testing.T) {
+	g := NewGate(1, 1, time.Minute)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestGateClampsDegenerateConfig(t *testing.T) {
+	g := NewGate(0, -3, 0)
+	if g.Capacity() != 1 {
+		t.Fatalf("Capacity = %d, want clamp to 1", g.Capacity())
+	}
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}

@@ -1,0 +1,122 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"contextrank/internal/par"
+)
+
+// FaultPlan is the set of faults one request will experience. Plans are
+// drawn per request from an independent seeded stream, so the multiset of
+// plans over N requests is a pure function of (seed, N) — the basis for
+// the bit-identical recovery counters the chaos tests assert.
+type FaultPlan struct {
+	// Latency is an injected processing delay, applied cooperatively by
+	// the handler inside its admission slot (see ChaosDelay), bounded by
+	// the request deadline.
+	Latency time.Duration
+	// Panic makes the chaos middleware panic before the handler runs; the
+	// Recover middleware must turn it into a 500.
+	Panic bool
+	// FailWrite makes every response-body write fail, simulating a client
+	// that disconnected mid-response.
+	FailWrite bool
+}
+
+// InjectorConfig parameterizes the fault mix. Probabilities are in [0,1];
+// zero disables that fault class. Seed must be injected by the caller
+// (flag, config) — the whole point is reproducing a run.
+type InjectorConfig struct {
+	Seed         int64
+	LatencyP     float64
+	LatencySpike time.Duration
+	PanicP       float64
+	WriteFailP   float64
+}
+
+// Injector plans faults deterministically. Request i draws from a
+// rand.Source seeded with par.Seed(cfg.Seed, i) — the same splitmix64
+// derivation the parallel pipeline uses for its sharded streams — so
+// neighbouring requests get statistically independent faults and a fixed
+// seed fixes the entire fault sequence.
+type Injector struct {
+	cfg  InjectorConfig
+	next atomic.Int64
+}
+
+// NewInjector builds an injector from a config.
+func NewInjector(cfg InjectorConfig) *Injector { return &Injector{cfg: cfg} }
+
+// Plan assigns the next request index and returns its fault plan. Indexes
+// are handed out in arrival order; under concurrency the index→request
+// assignment varies with scheduling, but the multiset of plans over any N
+// requests does not.
+func (inj *Injector) Plan() FaultPlan {
+	return inj.PlanAt(int(inj.next.Add(1) - 1))
+}
+
+// PlanAt is the pure planning function: the plan of request index i. The
+// draw order (latency, panic, write-failure) is part of the determinism
+// contract — tests re-derive expected counters by replaying PlanAt.
+func (inj *Injector) PlanAt(i int) FaultPlan {
+	rng := rand.New(rand.NewSource(par.Seed(inj.cfg.Seed, i)))
+	var p FaultPlan
+	if rng.Float64() < inj.cfg.LatencyP {
+		p.Latency = inj.cfg.LatencySpike
+	}
+	if rng.Float64() < inj.cfg.PanicP {
+		p.Panic = true
+	}
+	if rng.Float64() < inj.cfg.WriteFailP {
+		p.FailWrite = true
+	}
+	return p
+}
+
+// planKey carries the request's FaultPlan through its context.
+type planKey struct{}
+
+// WithPlan attaches a fault plan to a context.
+func WithPlan(ctx context.Context, p FaultPlan) context.Context {
+	return context.WithValue(ctx, planKey{}, p)
+}
+
+// PlanFrom extracts the fault plan attached by the chaos middleware.
+func PlanFrom(ctx context.Context) (FaultPlan, bool) {
+	p, ok := ctx.Value(planKey{}).(FaultPlan)
+	return p, ok
+}
+
+// ChaosDelay applies the context's planned latency spike, if any. It is
+// called by handlers inside their admission slot — injected latency must
+// occupy capacity like real slow work would — and it wakes early when the
+// request deadline expires, so a spike can never push a response past
+// deadline + grace.
+func ChaosDelay(ctx context.Context) {
+	p, ok := PlanFrom(ctx)
+	if !ok || p.Latency <= 0 {
+		return
+	}
+	timer := time.NewTimer(p.Latency)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+}
+
+// ErrInjectedWrite is the error every write on a fault-injected response
+// writer returns.
+var ErrInjectedWrite = errors.New("resilience: injected write failure")
+
+// brokenWriter simulates a client that went away: headers still "send",
+// body writes all fail. The serve layer's write-error accounting must see
+// exactly one error per encoded response.
+type brokenWriter struct{ http.ResponseWriter }
+
+func (b *brokenWriter) Write([]byte) (int, error) { return 0, ErrInjectedWrite }

@@ -1,0 +1,122 @@
+package resilience
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testCfg(seed int64) InjectorConfig {
+	return InjectorConfig{
+		Seed:         seed,
+		LatencyP:     0.3,
+		LatencySpike: time.Millisecond,
+		PanicP:       0.25,
+		WriteFailP:   0.2,
+	}
+}
+
+// TestInjectorDeterministicPlans: same seed → bit-identical plan sequence;
+// different seed → a different one (with overwhelming probability at n=200).
+func TestInjectorDeterministicPlans(t *testing.T) {
+	plans := func(seed int64, n int) []FaultPlan {
+		inj := NewInjector(testCfg(seed))
+		out := make([]FaultPlan, n)
+		for i := range out {
+			out[i] = inj.Plan()
+		}
+		return out
+	}
+	a, b := plans(7, 200), plans(7, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plan sequences")
+	}
+	if reflect.DeepEqual(a, plans(8, 200)) {
+		t.Fatal("different seeds produced identical plan sequences")
+	}
+	// The mix must actually contain every fault class at these rates.
+	var lat, pan, wf int
+	for _, p := range a {
+		if p.Latency > 0 {
+			lat++
+		}
+		if p.Panic {
+			pan++
+		}
+		if p.FailWrite {
+			wf++
+		}
+	}
+	if lat == 0 || pan == 0 || wf == 0 {
+		t.Fatalf("degenerate fault mix: lat=%d panics=%d writefails=%d", lat, pan, wf)
+	}
+}
+
+// TestInjectorPlanMatchesPlanAt: Plan() is PlanAt over an arrival counter,
+// so totals under concurrency equal the serial derivation.
+func TestInjectorPlanMatchesPlanAt(t *testing.T) {
+	const n = 100
+	cfg := testCfg(99)
+	inj := NewInjector(cfg)
+	var mu sync.Mutex
+	var gotPanics, gotWF, gotLat int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := inj.Plan()
+			mu.Lock()
+			defer mu.Unlock()
+			if p.Panic {
+				gotPanics++
+			}
+			if p.FailWrite {
+				gotWF++
+			}
+			if p.Latency > 0 {
+				gotLat++
+			}
+		}()
+	}
+	wg.Wait()
+	ref := NewInjector(cfg)
+	var wantPanics, wantWF, wantLat int
+	for i := 0; i < n; i++ {
+		p := ref.PlanAt(i)
+		if p.Panic {
+			wantPanics++
+		}
+		if p.FailWrite {
+			wantWF++
+		}
+		if p.Latency > 0 {
+			wantLat++
+		}
+	}
+	if gotPanics != wantPanics || gotWF != wantWF || gotLat != wantLat {
+		t.Fatalf("concurrent totals (%d,%d,%d) != serial derivation (%d,%d,%d)",
+			gotPanics, gotWF, gotLat, wantPanics, wantWF, wantLat)
+	}
+}
+
+func TestChaosDelayRespectsDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	ctx = WithPlan(ctx, FaultPlan{Latency: 5 * time.Second})
+	start := time.Now()
+	ChaosDelay(ctx)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("ChaosDelay slept %v past a 10ms deadline", elapsed)
+	}
+}
+
+func TestChaosDelayNoPlanIsNoop(t *testing.T) {
+	start := time.Now()
+	ChaosDelay(context.Background())
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("ChaosDelay without a plan slept")
+	}
+}

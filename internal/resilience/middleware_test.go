@@ -1,0 +1,116 @@
+package resilience
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRecoverConvertsPanicTo500(t *testing.T) {
+	var c Counters
+	h := Recover(&c, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if c.PanicsRecovered.Load() != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", c.PanicsRecovered.Load())
+	}
+}
+
+func TestRecoverPassesThroughAbortHandler(t *testing.T) {
+	var c Counters
+	h := Recover(&c, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler was swallowed")
+		}
+		if c.PanicsRecovered.Load() != 0 {
+			t.Fatal("ErrAbortHandler must not count as a recovered panic")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+}
+
+func TestChaosNilInjectorIsIdentity(t *testing.T) {
+	var c Counters
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(204) })
+	rec := httptest.NewRecorder()
+	Chaos(nil, &c, inner).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != 204 {
+		t.Fatal("nil-injector chaos altered behavior")
+	}
+	if c.Snapshot() != (Snapshot{}) {
+		t.Fatalf("nil-injector chaos touched counters: %+v", c.Snapshot())
+	}
+}
+
+func TestChaosAppliesPlannedFaults(t *testing.T) {
+	// Seed chosen arbitrarily; the test derives expectations from PlanAt,
+	// so any seed works — including the CI matrix overrides.
+	cfg := InjectorConfig{Seed: 4242, LatencyP: 0.5, LatencySpike: time.Microsecond, PanicP: 0.4, WriteFailP: 0.4}
+	inj := NewInjector(cfg)
+	var c Counters
+	var handlerRuns, writeFailures int
+	h := Recover(&c, Chaos(inj, &c, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handlerRuns++
+		ChaosDelay(r.Context())
+		if _, err := w.Write([]byte("ok")); err != nil {
+			writeFailures++
+		}
+	})))
+
+	const n = 50
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+		codes[i] = rec.Code
+	}
+
+	ref := NewInjector(cfg)
+	var wantPanics, wantWF, wantLat, wantHandlerWF int
+	for i := 0; i < n; i++ {
+		p := ref.PlanAt(i)
+		if p.Panic {
+			wantPanics++
+		}
+		if p.FailWrite {
+			wantWF++
+		}
+		if p.Latency > 0 {
+			wantLat++
+		}
+		if p.FailWrite && !p.Panic {
+			wantHandlerWF++
+		}
+		wantCode := http.StatusOK
+		if p.Panic {
+			wantCode = http.StatusInternalServerError
+		}
+		if codes[i] != wantCode {
+			t.Fatalf("request %d: code = %d, want %d (plan %+v)", i, codes[i], wantCode, p)
+		}
+	}
+	if c.PanicsRecovered.Load() != int64(wantPanics) || c.InjectedPanics.Load() != int64(wantPanics) {
+		t.Fatalf("panics recovered=%d injected=%d, want %d", c.PanicsRecovered.Load(), c.InjectedPanics.Load(), wantPanics)
+	}
+	if c.InjectedWriteFailures.Load() != int64(wantWF) {
+		t.Fatalf("InjectedWriteFailures = %d, want %d", c.InjectedWriteFailures.Load(), wantWF)
+	}
+	if c.InjectedLatencies.Load() != int64(wantLat) {
+		t.Fatalf("InjectedLatencies = %d, want %d", c.InjectedLatencies.Load(), wantLat)
+	}
+	if handlerRuns != n-wantPanics {
+		t.Fatalf("handler ran %d times, want %d (panicking requests never reach it)", handlerRuns, n-wantPanics)
+	}
+	if writeFailures != wantHandlerWF {
+		t.Fatalf("handler saw %d write failures, want %d", writeFailures, wantHandlerWF)
+	}
+}

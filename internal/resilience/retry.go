@@ -1,0 +1,185 @@
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"contextrank/internal/par"
+)
+
+// Doer is the slice of http.Client the retry wrapper needs.
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// RetryClient retries transient failures — transport errors, 429 and 5xx
+// responses — with capped exponential backoff and seeded jitter. The
+// jitter stream is derived per request with par.Seed, so a probe run with
+// a fixed seed replays the exact same backoff schedule.
+//
+// It is safe for concurrent use; each Do call owns an independent RNG.
+type RetryClient struct {
+	// Doer performs the individual attempts. Defaults to
+	// http.DefaultClient when nil.
+	Doer Doer
+	// MaxAttempts bounds total tries (default 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 50ms); each retry
+	// doubles it, capped at MaxDelay (default 2s). A Retry-After header
+	// overrides the computed delay, also capped at MaxDelay.
+	BaseDelay, MaxDelay time.Duration
+	// Sleep is replaceable for tests (default time.Sleep).
+	Sleep func(time.Duration)
+
+	seed int64
+	next atomic.Int64
+}
+
+// NewRetryClient wraps d with the default retry policy. The seed fixes
+// the jitter schedule; inject it from a flag or config.
+func NewRetryClient(d Doer, seed int64) *RetryClient {
+	return &RetryClient{Doer: d, seed: seed}
+}
+
+func (c *RetryClient) doer() Doer {
+	if c.Doer != nil {
+		return c.Doer
+	}
+	return http.DefaultClient
+}
+
+func (c *RetryClient) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 4
+}
+
+func (c *RetryClient) delays() (base, max time.Duration) {
+	base, max = c.BaseDelay, c.MaxDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	return base, max
+}
+
+func (c *RetryClient) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// retryableStatus: overload shedding and server-side failures are worth a
+// retry; everything else (4xx semantics, success) is final.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a Retry-After header given in seconds (the only form
+// the serve layer emits). Zero when absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Do performs the request with retries. A request with a body must be
+// replayable (http.NewRequest sets GetBody for the common reader types).
+// The response returned on success must be closed by the caller; failed
+// attempts are drained and closed here so connections are reused.
+func (c *RetryClient) Do(req *http.Request) (*http.Response, error) {
+	base, max := c.delays()
+	rng := rand.New(rand.NewSource(par.Seed(c.seed, int(c.next.Add(1)-1))))
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if attempt > 0 && req.Body != nil {
+			if req.GetBody == nil {
+				return nil, fmt.Errorf("resilience: cannot retry request with non-replayable body: %w", lastErr)
+			}
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, fmt.Errorf("resilience: replaying request body: %w", err)
+			}
+			req.Body = body
+		}
+		resp, err := c.doer().Do(req)
+		var delay time.Duration
+		switch {
+		case err != nil:
+			lastErr = err
+		case !retryableStatus(resp.StatusCode):
+			return resp, nil
+		default:
+			lastErr = fmt.Errorf("resilience: server returned %s", resp.Status)
+			delay = retryAfter(resp)
+			// Drain so the keep-alive connection is reusable.
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			_ = resp.Body.Close()
+		}
+		if attempt == c.maxAttempts()-1 {
+			break
+		}
+		if err := req.Context().Err(); err != nil {
+			return nil, err
+		}
+		if delay == 0 {
+			delay = c.backoff(rng, base, max, attempt)
+		} else if delay > max {
+			delay = max
+		}
+		c.sleep(delay)
+	}
+	return nil, lastErr
+}
+
+// DoRead is Do plus a full body read: a truncated or failed body read is
+// treated as one more transient failure and retried. It returns the final
+// response (body already closed) and the bytes read.
+func (c *RetryClient) DoRead(req *http.Request) (*http.Response, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		resp, err := c.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err == nil {
+			return resp, body, nil
+		}
+		lastErr = fmt.Errorf("resilience: reading response body: %w", err)
+	}
+	return nil, nil, lastErr
+}
+
+// backoff computes min(max, base<<attempt) with jitter in [d/2, d]: full
+// synchronization of retry storms is the failure mode jitter exists to
+// break, and the seeded stream keeps the schedule reproducible.
+func (c *RetryClient) backoff(rng *rand.Rand, base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rng.Int63n(half+1))
+}

@@ -1,0 +1,203 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flaky fails the first n attempts with the given status, then succeeds.
+type flaky struct {
+	failures int32
+	status   int
+	calls    atomic.Int32
+	echoBody bool
+}
+
+func (f *flaky) handler(w http.ResponseWriter, r *http.Request) {
+	call := f.calls.Add(1)
+	if call <= f.failures {
+		if f.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "0")
+		}
+		http.Error(w, "try later", f.status)
+		return
+	}
+	if f.echoBody {
+		body, _ := io.ReadAll(r.Body)
+		_, _ = w.Write(body)
+		return
+	}
+	_, _ = io.WriteString(w, "done")
+}
+
+func newRetryForTest(t *testing.T, d Doer, seed int64) (*RetryClient, *[]time.Duration) {
+	t.Helper()
+	var slept []time.Duration
+	c := NewRetryClient(d, seed)
+	c.BaseDelay = 10 * time.Millisecond
+	c.MaxDelay = 80 * time.Millisecond
+	c.Sleep = func(dur time.Duration) { slept = append(slept, dur) }
+	return c, &slept
+}
+
+func TestRetryEventuallySucceeds(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInternalServerError} {
+		f := &flaky{failures: 2, status: status}
+		srv := httptest.NewServer(http.HandlerFunc(f.handler))
+		c, _ := newRetryForTest(t, srv.Client(), 1)
+		req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body, err := c.DoRead(req)
+		if err != nil {
+			t.Fatalf("status %d: %v", status, err)
+		}
+		if resp.StatusCode != http.StatusOK || string(body) != "done" {
+			t.Fatalf("status %d: got %d %q", status, resp.StatusCode, body)
+		}
+		if f.calls.Load() != 3 {
+			t.Fatalf("status %d: %d attempts, want 3", status, f.calls.Load())
+		}
+		srv.Close()
+	}
+}
+
+func TestRetryReplaysPostBody(t *testing.T) {
+	f := &flaky{failures: 2, status: http.StatusServiceUnavailable, echoBody: true}
+	srv := httptest.NewServer(http.HandlerFunc(f.handler))
+	defer srv.Close()
+	c, _ := newRetryForTest(t, srv.Client(), 1)
+	req, err := http.NewRequest(http.MethodPost, srv.URL, bytes.NewReader([]byte(`{"text":"x"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := c.DoRead(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != `{"text":"x"}` {
+		t.Fatalf("replayed body = %q", body)
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	f := &flaky{failures: 100, status: http.StatusServiceUnavailable}
+	srv := httptest.NewServer(http.HandlerFunc(f.handler))
+	defer srv.Close()
+	c, _ := newRetryForTest(t, srv.Client(), 1)
+	c.MaxAttempts = 3
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	if _, err := c.Do(req); err == nil {
+		t.Fatal("expected error after exhausting attempts")
+	}
+	if f.calls.Load() != 3 {
+		t.Fatalf("%d attempts, want 3", f.calls.Load())
+	}
+}
+
+func TestRetryDoesNotRetryFinalStatuses(t *testing.T) {
+	f := &flaky{failures: 100, status: http.StatusBadRequest}
+	srv := httptest.NewServer(http.HandlerFunc(f.handler))
+	defer srv.Close()
+	c, _ := newRetryForTest(t, srv.Client(), 1)
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || f.calls.Load() != 1 {
+		t.Fatalf("400 must be final: status=%d attempts=%d", resp.StatusCode, f.calls.Load())
+	}
+}
+
+// failingDoer always errors at the transport level.
+type failingDoer struct{ calls int }
+
+func (f *failingDoer) Do(*http.Request) (*http.Response, error) {
+	f.calls++
+	return nil, errors.New("connection refused")
+}
+
+// TestRetryBackoffSeededAndCapped: the backoff schedule is a pure function
+// of the seed — two clients with the same seed sleep identical durations,
+// a different seed jitters differently, and every delay stays within
+// [base/2, max].
+func TestRetryBackoffSeededAndCapped(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		c, slept := newRetryForTest(t, &failingDoer{}, seed)
+		c.MaxAttempts = 6
+		req, _ := http.NewRequest(http.MethodGet, "http://unreachable.invalid/", nil)
+		if _, err := c.Do(req); err == nil {
+			t.Fatal("expected transport error")
+		}
+		return *slept
+	}
+	a, b := schedule(5), schedule(5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	if len(a) != 5 {
+		t.Fatalf("slept %d times, want 5", len(a))
+	}
+	if reflect.DeepEqual(a, schedule(6)) {
+		t.Fatal("different seeds produced identical jitter")
+	}
+	for i, d := range a {
+		if d < 5*time.Millisecond || d > 80*time.Millisecond {
+			t.Fatalf("delay %d = %v outside [base/2, max]", i, d)
+		}
+	}
+	// Later delays must reach the cap region (exponent grows past max).
+	if last := a[len(a)-1]; last < 40*time.Millisecond {
+		t.Fatalf("final delay %v never approached the 80ms cap", last)
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	calls := 0
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		_, _ = io.WriteString(w, "ok")
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c, slept := newRetryForTest(t, srv.Client(), 1)
+	c.MaxDelay = 3 * time.Second
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if len(*slept) != 1 || (*slept)[0] != 3*time.Second {
+		t.Fatalf("slept %v, want the 7s Retry-After capped to MaxDelay=3s", *slept)
+	}
+}
+
+func TestRetryNonReplayableBodyFailsCleanly(t *testing.T) {
+	f := &flaky{failures: 100, status: http.StatusServiceUnavailable}
+	srv := httptest.NewServer(http.HandlerFunc(f.handler))
+	defer srv.Close()
+	c, _ := newRetryForTest(t, srv.Client(), 1)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, io.NopCloser(strings.NewReader("stream")))
+	req.GetBody = nil
+	_, err := c.Do(req)
+	if err == nil || !strings.Contains(err.Error(), "non-replayable") {
+		t.Fatalf("err = %v, want non-replayable body error", err)
+	}
+}

@@ -11,24 +11,43 @@
 //	POST /v1/render       same body; responds with annotated HTML
 //	GET  /v1/concepts?q=  concept inventory lookup (features + keywords)
 //	GET  /healthz         liveness
-//	GET  /statz           processing counters and throughput
+//	GET  /readyz          readiness (503 while draining)
+//	GET  /statz           processing counters, resilience counters, throughput
+//
+// The serving path is production-hardened by internal/resilience (see
+// DESIGN.md §8 for the full contract): per-request deadlines with
+// cooperative cancellation, bounded-concurrency admission control, panic
+// recovery, deterministic chaos injection, and graceful degradation —
+// when /v1/annotate is shed or runs out of deadline it answers with the
+// cheap dictionary-prior ranking flagged "degraded": true instead of an
+// error, while /v1/render (whose output cannot be meaningfully degraded)
+// sheds with 429 + Retry-After.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"contextrank/internal/annotate"
 	"contextrank/internal/detect"
 	"contextrank/internal/framework"
+	"contextrank/internal/resilience"
 	"contextrank/internal/textproc"
 )
 
 // MaxDocumentBytes bounds request bodies: the production system processes
 // web pages, not bulk corpora, per request.
 const MaxDocumentBytes = 1 << 20
+
+// retryAfterSeconds is the backoff hint sent with every 429/503: shed
+// load should come back after the short wait queue has had a chance to
+// drain, not immediately and not never.
+const retryAfterSeconds = "1"
 
 // Server wires the runtime and renderer behind an http.Handler.
 type Server struct {
@@ -37,18 +56,44 @@ type Server struct {
 	// DefaultTop is used when a request omits "top". Default 5.
 	DefaultTop int
 
+	// Timeout is the per-request deadline for the annotation pipeline
+	// (0 = none). On expiry /v1/annotate degrades and /v1/render 503s.
+	Timeout time.Duration
+	// Gate is the admission controller (nil = unbounded admission).
+	Gate *resilience.Gate
+	// Injector enables deterministic fault injection (nil = off).
+	Injector *resilience.Injector
+
+	ready       atomic.Bool
 	requests    atomic.Int64
 	docBytes    atomic.Int64
 	writeErrors atomic.Int64
+	rz          resilience.Counters
 }
 
 // NewServer builds a server around a runtime. renderer may be nil, which
-// disables /v1/render.
+// disables /v1/render. The server starts ready; cmd/serve flips readiness
+// off when a drain begins.
 func NewServer(rt *framework.Runtime, renderer *annotate.Renderer) *Server {
-	return &Server{Runtime: rt, Renderer: renderer, DefaultTop: 5}
+	s := &Server{Runtime: rt, Renderer: renderer, DefaultTop: 5}
+	s.ready.Store(true)
+	return s
 }
 
-// Handler returns the routed handler.
+// SetReady flips the /readyz state. Liveness (/healthz) is unaffected:
+// a draining process is still alive.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current readiness state.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// ResilienceSnapshot exposes the resilience counters (also in /statz).
+func (s *Server) ResilienceSnapshot() resilience.Snapshot { return s.rz.Snapshot() }
+
+// Handler returns the routed handler wrapped in the resilience chain:
+// Recover outermost (a panic anywhere — injected or real — becomes a 500
+// and a counter), Chaos inside it (so injected panics are recovered like
+// real ones), then the mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/annotate", s.handleAnnotate)
@@ -58,8 +103,22 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		s.writeBody(w, "ok\n")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /statz", s.handleStats)
-	return mux
+
+	var h http.Handler = mux
+	h = resilience.Chaos(s.Injector, &s.rz, h)
+	return resilience.Recover(&s.rz, h)
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	s.writeBody(w, "ready\n")
 }
 
 // AnnotateRequest is the JSON request body of /v1/annotate and /v1/render.
@@ -91,6 +150,10 @@ type AnnotateResponse struct {
 	// when HTML was stripped).
 	Text        string           `json:"text"`
 	Annotations []AnnotationJSON `json:"annotations"`
+	// Degraded marks a response produced by the cheap dictionary-prior
+	// ranking because the full pipeline was shed or ran out of deadline.
+	// Scores are static priors and Relevance is always 0 in this mode.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // decode parses and validates the request body.
@@ -98,6 +161,11 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request) (AnnotateRequest
 	var req AnnotateRequest
 	body := http.MaxBytesReader(w, r.Body, MaxDocumentBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, "request body exceeds document limit", http.StatusRequestEntityTooLarge)
+			return req, "", false
+		}
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return req, "", false
 	}
@@ -123,10 +191,32 @@ func (s *Server) top(req AnnotateRequest) int {
 	}
 }
 
-func (s *Server) annotate(text string, top int) []framework.Annotation {
+// account records one admitted document in the request counters.
+func (s *Server) account(text string) {
 	s.requests.Add(1)
 	s.docBytes.Add(int64(len(text)))
-	return s.Runtime.Annotate(text, top)
+}
+
+// requestCtx derives the per-request deadline context.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.Timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// admit asks the gate for a slot. With no gate every request is admitted.
+func (s *Server) admit(ctx context.Context) (func(), error) {
+	if s.Gate == nil {
+		return func() {}, nil
+	}
+	return s.Gate.Acquire(ctx)
+}
+
+// annotate runs the full pipeline for the render path (no ctx support in
+// the renderer flow yet — deadline failures surface as 503 there).
+func (s *Server) annotate(ctx context.Context, text string, top int) ([]framework.Annotation, error) {
+	return s.Runtime.AnnotateCtx(ctx, text, top)
 }
 
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
@@ -134,8 +224,43 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	anns := s.annotate(text, s.top(req))
-	resp := AnnotateResponse{Text: text, Annotations: make([]AnnotationJSON, 0, len(anns))}
+	s.account(text)
+	top := s.top(req)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	release, err := s.admit(ctx)
+	if err != nil {
+		// Shed: answer degraded instead of erroring. The cheap ranking
+		// deliberately runs outside the gate — it is the pressure-relief
+		// valve, and admitting it through the gate would defeat shedding.
+		s.rz.Shed.Add(1)
+		s.writeAnnotations(w, text, s.degraded(text, top), true)
+		return
+	}
+	defer release()
+	resilience.ChaosDelay(ctx)
+
+	anns, err := s.annotate(ctx, text, top)
+	if err != nil {
+		// Deadline exhausted mid-pipeline: fall back to the cheap ranking
+		// (still holding the slot; the fallback is fast and bounded).
+		s.rz.DeadlineExpired.Add(1)
+		s.writeAnnotations(w, text, s.degraded(text, top), true)
+		return
+	}
+	s.writeAnnotations(w, text, anns, false)
+}
+
+// degraded runs the dictionary-prior fallback and counts it.
+func (s *Server) degraded(text string, top int) []framework.Annotation {
+	s.rz.Degraded.Add(1)
+	return s.Runtime.AnnotateDegraded(text, top)
+}
+
+// writeAnnotations serializes the annotation list as an AnnotateResponse.
+func (s *Server) writeAnnotations(w http.ResponseWriter, text string, anns []framework.Annotation, degraded bool) {
+	resp := AnnotateResponse{Text: text, Annotations: make([]AnnotationJSON, 0, len(anns)), Degraded: degraded}
 	for _, a := range anns {
 		aj := AnnotationJSON{
 			Text:      a.Detection.Text,
@@ -166,18 +291,50 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	s.account(text)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	release, err := s.admit(ctx)
+	if err != nil {
+		// Rendered HTML has no meaningful degraded form: shed with 429
+		// and a backoff hint.
+		s.rz.Shed.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+		return
+	}
+	defer release()
+	resilience.ChaosDelay(ctx)
+
 	if req.HTML {
 		// Annotate the original markup in place: strip with an offset map,
 		// detect on the plain text, splice shortcut spans back into the
 		// publisher's HTML.
 		res := textproc.StripHTMLMapped(req.Text)
-		anns := s.annotate(res.Text, s.top(req))
+		anns, err := s.annotate(ctx, res.Text, s.top(req))
+		if err != nil {
+			s.renderDeadline(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		s.writeBody(w, s.Renderer.RenderSource(req.Text, res, anns))
 		return
 	}
-	anns := s.annotate(text, s.top(req))
+	anns, err := s.annotate(ctx, text, s.top(req))
+	if err != nil {
+		s.renderDeadline(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	s.writeBody(w, s.Renderer.Render(text, anns))
+}
+
+// renderDeadline reports a render request that ran out of its deadline.
+func (s *Server) renderDeadline(w http.ResponseWriter) {
+	s.rz.DeadlineExpired.Add(1)
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	http.Error(w, "deadline exceeded", http.StatusServiceUnavailable)
 }
 
 // ConceptInfo is the /v1/concepts response.
@@ -215,17 +372,31 @@ type Stats struct {
 	WriteErrors   int64   `json:"write_errors"`
 	StemMBps      float64 `json:"stem_mbps"`
 	RankMBps      float64 `json:"rank_mbps"`
+
+	// Admission-control gauges (zero when no gate is configured).
+	InFlight     int `json:"in_flight"`
+	QueueDepth   int `json:"queue_depth"`
+	GateCapacity int `json:"gate_capacity"`
+
+	Resilience resilience.Snapshot `json:"resilience"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	stem, rank := s.Runtime.Throughput()
-	s.writeJSON(w, Stats{
+	st := Stats{
 		Requests:      s.requests.Load(),
 		DocumentBytes: s.docBytes.Load(),
 		WriteErrors:   s.writeErrors.Load(),
 		StemMBps:      stem,
 		RankMBps:      rank,
-	})
+		Resilience:    s.rz.Snapshot(),
+	}
+	if s.Gate != nil {
+		st.InFlight = s.Gate.InFlight()
+		st.QueueDepth = s.Gate.QueueDepth()
+		st.GateCapacity = s.Gate.Capacity()
+	}
+	s.writeJSON(w, st)
 }
 
 // writeBody writes a pre-rendered body and accounts failures: a client

@@ -248,8 +248,33 @@ func TestRequestSizeLimit(t *testing.T) {
 	h := testServer(t).Handler()
 	huge := strings.Repeat("x", MaxDocumentBytes+100)
 	rec := postJSON(t, h, "/v1/annotate", AnnotateRequest{Text: huge})
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("oversized request status = %d", rec.Code)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized request status = %d, want 413", rec.Code)
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz while ready = %d", rec.Code)
+	}
+	s.SetReady(false)
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec2.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", rec2.Code)
+	}
+	if rec2.Header().Get("Retry-After") == "" {
+		t.Fatal("draining readyz missing Retry-After")
+	}
+	// Liveness is unaffected by draining.
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("healthz while draining = %d", rec3.Code)
 	}
 }
 
