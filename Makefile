@@ -26,9 +26,18 @@ race:
 # BENCH.json (benchmark name -> iterations + metric map); bench.out keeps
 # the raw output. Redirect-then-parse (not a pipe) so a failing test run
 # fails the target instead of being masked by the parser's exit code.
+#
+# The hot-path benchmarks are re-run with enough iterations for allocs/op
+# to be exact (later result lines for a name overwrite the 1x ones), then
+# guarded against BENCH.baseline.json: more than +20% allocs/op on the
+# annotate or detect path fails the build (DESIGN.md §10).
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./... > bench.out
-	$(GO) run ./cmd/benchjson -o BENCH.json < bench.out
+	$(GO) test -run=NONE -bench='^BenchmarkAnnotate$$' -benchtime=50x . >> bench.out
+	$(GO) test -run=NONE -bench='^BenchmarkDetect$$' -benchtime=100x ./internal/detect >> bench.out
+	$(GO) run ./cmd/benchjson -o BENCH.json -baseline BENCH.baseline.json \
+		-guard 'BenchmarkAnnotate:allocs/op:1.20' \
+		-guard 'BenchmarkDetect:allocs/op:1.20' < bench.out
 
 # Deterministic fault injection under -race with a pinned seed: the chaos
 # tests derive their expected recovery counters from CHAOS_SEED, so any

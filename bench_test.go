@@ -218,6 +218,20 @@ func BenchmarkFrameworkRanker(b *testing.B) {
 	}
 }
 
+// BenchmarkAnnotate measures the full online annotate path per document —
+// the detection + ranking hot path whose allocs/op the performance
+// contract (DESIGN.md §10) guards in CI. Unlike BenchmarkFrameworkRanker
+// (which reports MB/s over a corpus sweep), this benchmark reports per-call
+// cost so allocation regressions are visible directly.
+func BenchmarkAnnotate(b *testing.B) {
+	rt, docs := buildRuntime(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Annotate(docs[i%len(docs)].Text, 3)
+	}
+}
+
 // BenchmarkFrameworkStemmer measures the stemmer stage alone (§VI: paper
 // 7.9 MB/s).
 func BenchmarkFrameworkStemmer(b *testing.B) {

@@ -8,6 +8,14 @@
 //
 //	go test -run=NONE -bench=. -benchtime=1x ./... > bench.out
 //	benchjson -o BENCH.json < bench.out
+//
+// With -baseline and one or more -guard flags it also enforces the
+// performance contract (DESIGN.md §10): each guard names a benchmark, a
+// metric and a maximum ratio against the checked-in baseline, and a breach
+// fails the run after BENCH.json is written:
+//
+//	benchjson -o BENCH.json -baseline BENCH.baseline.json \
+//	    -guard 'BenchmarkAnnotate:allocs/op:1.20' < bench.out
 package main
 
 import (
@@ -26,8 +34,17 @@ type Entry struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// guardList collects repeated -guard flags.
+type guardList []string
+
+func (g *guardList) String() string     { return strings.Join(*g, ",") }
+func (g *guardList) Set(v string) error { *g = append(*g, v); return nil }
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baselinePath := flag.String("baseline", "", "checked-in baseline JSON for -guard checks")
+	var guards guardList
+	flag.Var(&guards, "guard", "bench:metric:maxRatio — fail when current/baseline exceeds maxRatio (repeatable)")
 	flag.Parse()
 
 	benches, err := parse(os.Stdin)
@@ -48,12 +65,71 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if len(guards) > 0 {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -guard requires -baseline")
+			os.Exit(1)
+		}
+		if err := checkGuards(benches, *baselinePath, guards); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkGuards compares the parsed results against the baseline file. A
+// missing benchmark, metric or baseline entry is a hard error: a silently
+// skipped guard is indistinguishable from a passing one.
+func checkGuards(benches map[string]Entry, baselinePath string, guards []string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	// Decode entries lazily so annotation keys (e.g. "_comment") and the
+	// informational ".prePR" records don't have to be Entry-shaped.
+	var baselineRaw map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &baselineRaw); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	baseline := map[string]Entry{}
+	for name, msg := range baselineRaw {
+		var e Entry
+		if json.Unmarshal(msg, &e) == nil {
+			baseline[name] = e
+		}
+	}
+	for _, g := range guards {
+		parts := strings.Split(g, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("bad -guard %q (want bench:metric:maxRatio)", g)
+		}
+		bench, metric := parts[0], parts[1]
+		maxRatio, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || maxRatio <= 0 {
+			return fmt.Errorf("bad -guard ratio %q", parts[2])
+		}
+		cur, ok := benches[bench].Metrics[metric]
+		if !ok {
+			return fmt.Errorf("guard %s: benchmark %q has no %q metric in this run", g, bench, metric)
+		}
+		base, ok := baseline[bench].Metrics[metric]
+		if !ok || base <= 0 {
+			return fmt.Errorf("guard %s: baseline %s has no positive %q for %q", g, baselinePath, metric, bench)
+		}
+		ratio := cur / base
+		if ratio > maxRatio {
+			return fmt.Errorf("guard FAILED: %s %s = %.4g exceeds baseline %.4g by %.1f%% (limit +%.0f%%)",
+				bench, metric, cur, base, 100*(ratio-1), 100*(maxRatio-1))
+		}
+		fmt.Fprintf(os.Stderr, "guard ok: %s %s = %.4g vs baseline %.4g (%.1f%% of limit +%.0f%%)\n",
+			bench, metric, cur, base, 100*(ratio-1), 100*(maxRatio-1))
+	}
+	return nil
 }
 
 // parse extracts benchmark result lines. The format is

@@ -33,6 +33,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -58,6 +59,8 @@ func main() {
 	queueLen := flag.Int("queue", 32, "admission gate: wait-queue length beyond the in-flight bound")
 	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "admission gate: max time a request waits for a slot")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline after SIGTERM")
+	cacheSize := flag.Int("cache-size", 1024, "annotation response cache capacity in entries (0 = disabled)")
+	pprofAddr := flag.String("pprof-addr", "", "if set, expose net/http/pprof on this separate listener (e.g. localhost:6060); never exposed on the serving address")
 
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (used when any -chaos-*-p is > 0)")
 	chaosLatencyP := flag.Float64("chaos-latency-p", 0, "probability of an injected latency spike per request")
@@ -116,6 +119,15 @@ func main() {
 	srv := serve.NewServer(ranker.Runtime(), renderer)
 	srv.Timeout = *requestTimeout
 	srv.Gate = resilience.NewGate(*maxInflight, *queueLen, *queueWait)
+	srv.Cache = serve.NewCache(*cacheSize)
+
+	if *pprofAddr != "" {
+		stop, err := startPprof(*pprofAddr, os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
 	if *chaosLatencyP > 0 || *chaosPanicP > 0 || *chaosWriteP > 0 {
 		srv.Injector = resilience.NewInjector(resilience.InjectorConfig{
 			Seed:         *chaosSeed,
@@ -155,6 +167,31 @@ func main() {
 	if err := serveUntilSignal(httpServer, srv, ln, sig, *drainTimeout, os.Stderr); err != nil {
 		fatal(err)
 	}
+}
+
+// startPprof serves net/http/pprof on its own listener and mux, so the
+// profiling surface shares nothing with the public serving address (no
+// resilience chain, no chaos injection, and crucially no public exposure —
+// bind it to localhost). Returns a closer that tears the listener down.
+func startPprof(addr string, logw io.Writer) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	server := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := server.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(logw, "pprof server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(logw, "pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { server.Close() }, nil
 }
 
 // writeTimeout sizes the http.Server write deadline around the request

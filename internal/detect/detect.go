@@ -4,10 +4,17 @@
 // entity classes — pattern-based entities, dictionary named entities and
 // query-log concepts — followed by post-processing: collision detection
 // between overlapping entities, disambiguation and filtering.
+//
+// The detection hot path is allocation-disciplined (DESIGN.md §10): a
+// document is tokenized into pooled scratch buffers, interned once against
+// each matcher's vocabulary, and scanned by the token-trie matchers of
+// internal/match with zero per-probe allocations. Only the returned
+// detection slice is freshly allocated — it never aliases pooled state.
 package detect
 
 import (
 	"sort"
+	"sync"
 
 	"contextrank/internal/taxonomy"
 	"contextrank/internal/textproc"
@@ -51,7 +58,9 @@ type Detection struct {
 	Kind Kind
 	// PatternType is "email", "url" or "phone" for pattern entities.
 	PatternType string
-	// Entry is the disambiguated taxonomy entry for named entities.
+	// Entry is the disambiguated taxonomy entry for named entities. It
+	// points into the dictionary's immutable entry table; treat it as
+	// read-only.
 	Entry *taxonomy.Entry
 	// Unit is the matched query-log unit for concepts.
 	Unit *units.Unit
@@ -69,7 +78,12 @@ type Detection struct {
 // annotating. Without a floor the detector would fire on nearly every word.
 const MinUnitScore = 0.35
 
-// Pipeline is a configured detector.
+// disambigRadius is the token radius of the context window handed to the
+// dictionary disambiguator for each ambiguous named-entity match.
+const disambigRadius = 25
+
+// Pipeline is a configured detector. It is safe for concurrent use: all
+// per-document state lives in pooled scratch buffers.
 type Pipeline struct {
 	dict         *taxonomy.Dictionary
 	units        *units.Set
@@ -96,34 +110,56 @@ func (p *Pipeline) DetectHTML(html string) (string, []Detection) {
 	return text, p.Detect(text)
 }
 
-// Detect runs the full pipeline over plain text.
+// scratch holds the per-document working set of Detect: the token slice,
+// the word-token views (norm/tokIdx), one interned id buffer per matcher
+// vocabulary, match buffers and the detection accumulator. Pooled so a
+// steady-state serving process performs no per-document buffer allocations.
+type scratch struct {
+	tokens  []textproc.Token
+	norm    []string
+	tokIdx  []int
+	dictIDs []uint32
+	unitIDs []uint32
+	dms     []taxonomy.Match
+	ums     []units.Match
+	all     []Detection
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// Detect runs the full pipeline over plain text. The returned slice is
+// freshly allocated and owned by the caller; it never aliases the pooled
+// scratch buffers.
 func (p *Pipeline) Detect(text string) []Detection {
-	tokens := textproc.Tokenize(text)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
+	sc.tokens = textproc.TokenizeInto(text, sc.tokens[:0])
 
 	// Word-token view for the phrase scanners, with a mapping back to the
 	// token slice so byte offsets survive.
-	norm := make([]string, 0, len(tokens))
-	tokIdx := make([]int, 0, len(tokens))
-	for i, t := range tokens {
+	sc.norm, sc.tokIdx = sc.norm[:0], sc.tokIdx[:0]
+	for i := range sc.tokens {
+		t := &sc.tokens[i]
 		if t.Kind != textproc.Punct && t.Norm != "" {
-			norm = append(norm, t.Norm)
-			tokIdx = append(tokIdx, i)
+			sc.norm = append(sc.norm, t.Norm)
+			sc.tokIdx = append(sc.tokIdx, i)
 		}
 	}
 
-	var all []Detection
-	all = append(all, detectPatterns(text)...)
+	all := appendPatternDetections(sc.all[:0], text)
 
 	if p.dict != nil {
-		for _, m := range p.dict.FindInTokens(norm) {
-			entry := p.dict.Disambiguate(m, contextWindow(norm, m.Start, m.End, 25))
-			first, last := tokens[tokIdx[m.Start]], tokens[tokIdx[m.End-1]]
-			e := entry
+		sc.dictIDs = p.dict.Vocab().AppendIDs(sc.dictIDs[:0], sc.norm)
+		sc.dms = p.dict.FindInIDs(sc.dictIDs, sc.dms[:0])
+		for _, m := range sc.dms {
+			entry := p.dict.DisambiguateIDs(m, idWindow(sc.dictIDs, m.Start, m.End, disambigRadius))
+			first, last := sc.tokens[sc.tokIdx[m.Start]], sc.tokens[sc.tokIdx[m.End-1]]
 			all = append(all, Detection{
 				Text:     text[first.Start:last.End],
 				Norm:     m.Phrase,
 				Kind:     KindNamed,
-				Entry:    &e,
+				Entry:    entry,
 				Start:    first.Start,
 				End:      last.End,
 				Sentence: first.Sentence,
@@ -132,11 +168,13 @@ func (p *Pipeline) Detect(text string) []Detection {
 	}
 
 	if p.units != nil {
-		for _, m := range p.units.FindInTokens(norm) {
+		sc.unitIDs = p.units.Vocab().AppendIDs(sc.unitIDs[:0], sc.norm)
+		sc.ums = p.units.FindInIDs(sc.unitIDs, sc.ums[:0])
+		for _, m := range sc.ums {
 			if m.Unit.Score < p.minUnitScore {
 				continue
 			}
-			first, last := tokens[tokIdx[m.Start]], tokens[tokIdx[m.End-1]]
+			first, last := sc.tokens[sc.tokIdx[m.Start]], sc.tokens[sc.tokIdx[m.End-1]]
 			all = append(all, Detection{
 				Text:     text[first.Start:last.End],
 				Norm:     m.Unit.Text,
@@ -150,25 +188,32 @@ func (p *Pipeline) Detect(text string) []Detection {
 	}
 
 	all = filter(all)
+	sc.all = all[:0] // return the (possibly grown) accumulator to the pool
 	return resolveCollisions(all)
 }
 
-// contextWindow returns the normalized tokens within radius of [start,end).
-func contextWindow(norm []string, start, end, radius int) []string {
+// idWindow returns the interned ids within radius tokens of [start,end).
+func idWindow(ids []uint32, start, end, radius int) []uint32 {
 	lo := start - radius
 	if lo < 0 {
 		lo = 0
 	}
 	hi := end + radius
-	if hi > len(norm) {
-		hi = len(norm)
+	if hi > len(ids) {
+		hi = len(ids)
 	}
-	return norm[lo:hi]
+	return ids[lo:hi]
 }
 
 // filter applies the post-processing filters: single-character concepts,
 // pure stop-word concepts and number-only concepts are dropped. Named and
 // pattern entities pass through (editorial dictionaries are pre-vetted).
+//
+// Ownership contract: filter compacts ds in place (writing through ds[:0])
+// and returns the shortened slice. The caller must exclusively own ds's
+// backing array — passing a slice that shares its array with live data
+// would clobber that data. Detect calls it on the pooled accumulator it
+// owns; see TestFilterCompactsInPlace / TestDetectResultsDoNotAliasScratch.
 func filter(ds []Detection) []Detection {
 	out := ds[:0]
 	for _, d := range ds {
@@ -176,13 +221,23 @@ func filter(ds []Detection) []Detection {
 			if len(d.Norm) <= 1 {
 				continue
 			}
-			if allStopwords(d.Norm) {
+			if stopOnly(d) {
 				continue
 			}
 		}
 		out = append(out, d)
 	}
 	return out
+}
+
+// stopOnly reports whether a concept detection is made of stop-words only,
+// using the unit's precomputed flag when present (the hot path) and
+// re-tokenizing the phrase otherwise (detections built by hand in tests).
+func stopOnly(d Detection) bool {
+	if d.Unit != nil {
+		return d.Unit.StopOnly
+	}
+	return allStopwords(d.Norm)
 }
 
 func allStopwords(phrase string) bool {
@@ -199,9 +254,17 @@ func allStopwords(phrase string) bool {
 // resolveCollisions drops detections whose spans overlap a higher-priority
 // detection. Priority: pattern entities first (always annotated), then
 // longer spans, then named entities over concepts, then earlier start.
+//
+// The kept set is maintained sorted by span start; because kept spans never
+// overlap, one binary search decides each candidate — a sorted interval
+// sweep replacing the quadratic kept-list scan. The returned slice is
+// always freshly allocated (never an alias of ds), sorted by start.
 func resolveCollisions(ds []Detection) []Detection {
-	if len(ds) <= 1 {
-		return ds
+	if len(ds) == 0 {
+		return nil
+	}
+	if len(ds) == 1 {
+		return []Detection{ds[0]}
 	}
 	order := make([]int, len(ds))
 	for i := range order {
@@ -220,20 +283,26 @@ func resolveCollisions(ds []Detection) []Detection {
 		}
 		return x.Start < y.Start
 	})
-	var kept []Detection
+	kept := make([]Detection, 0, len(ds))
 	for _, idx := range order {
 		d := ds[idx]
-		collides := false
-		for _, k := range kept {
-			if d.Start < k.End && k.Start < d.End {
-				collides = true
-				break
+		// First kept span ending after d starts: the only possible overlap
+		// candidate, since kept spans are disjoint and sorted.
+		lo, hi := 0, len(kept)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if kept[mid].End > d.Start {
+				hi = mid
+			} else {
+				lo = mid + 1
 			}
 		}
-		if !collides {
-			kept = append(kept, d)
+		if lo < len(kept) && kept[lo].Start < d.End {
+			continue // overlaps a higher-priority detection
 		}
+		kept = append(kept, Detection{})
+		copy(kept[lo+1:], kept[lo:])
+		kept[lo] = d
 	}
-	sort.Slice(kept, func(i, j int) bool { return kept[i].Start < kept[j].Start })
 	return kept
 }

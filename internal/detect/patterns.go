@@ -13,11 +13,17 @@ var (
 	phoneRe = regexp.MustCompile(`(?:\+?1[\-. ])?\(?\d{3}\)?[\-. ]\d{3}[\-. ]\d{4}`)
 )
 
-// detectPatterns finds pattern entities in text. Emails are detected before
-// URLs so that "mailto"-like text is not double counted; overlapping pattern
-// matches are resolved by the usual collision pass downstream.
+// detectPatterns finds pattern entities in text.
 func detectPatterns(text string) []Detection {
-	var out []Detection
+	return appendPatternDetections(nil, text)
+}
+
+// appendPatternDetections appends pattern entities found in text to dst.
+// Emails are detected before URLs so that "mailto"-like text is not double
+// counted; overlapping pattern matches are resolved by the usual collision
+// pass downstream.
+func appendPatternDetections(dst []Detection, text string) []Detection {
+	out := dst
 	add := func(ptype string, locs [][]int) {
 		for _, loc := range locs {
 			raw := text[loc[0]:loc[1]]

@@ -124,7 +124,13 @@ func Dim(include map[Group]bool) int {
 // Expand produces the numeric feature vector for the masked groups, with
 // HighLevelType one-hot encoded. The layout is stable for a given mask.
 func (f Fields) Expand(include map[Group]bool) []float64 {
-	out := make([]float64, 0, Dim(include))
+	return f.AppendExpand(make([]float64, 0, Dim(include)), include)
+}
+
+// AppendExpand is Expand appending into dst (pass a pooled dst[:0] to make
+// the per-detection feature expansion allocation-free on the serving path).
+func (f Fields) AppendExpand(dst []float64, include map[Group]bool) []float64 {
+	out := dst
 	if include[GroupQueryLogs] {
 		out = append(out, f.FreqExact, f.FreqPhraseContained, f.UnitScore)
 	}
@@ -135,11 +141,13 @@ func (f Fields) Expand(include map[Group]bool) []float64 {
 		out = append(out, f.ConceptSize, f.NumberOfChars, f.Subconcepts)
 	}
 	if include[GroupTaxonomy] {
-		oneHot := make([]float64, NumEntityTypes)
-		if int(f.HighLevelType) >= 0 && int(f.HighLevelType) < NumEntityTypes {
-			oneHot[int(f.HighLevelType)] = 1
+		hot := len(out)
+		for i := 0; i < NumEntityTypes; i++ {
+			out = append(out, 0)
 		}
-		out = append(out, oneHot...)
+		if int(f.HighLevelType) >= 0 && int(f.HighLevelType) < NumEntityTypes {
+			out[hot+int(f.HighLevelType)] = 1
+		}
 	}
 	if include[GroupOther] {
 		out = append(out, f.WikiWordCount)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +58,62 @@ func (rt *Runtime) StemDoc(text string) map[string]bool {
 	return stems
 }
 
+// annScratch is the pooled per-request working set of AnnotateCtx: a token
+// buffer for window tokenization, the stem/TID sets (cleared, not
+// reallocated, between uses), a reusable feature vector, and a memo of
+// word → Porter stem. The memo survives across pooled requests — document
+// windows overlap and vocabularies repeat heavily, so most Stem calls become
+// map hits — and is dropped wholesale past stemCacheMax entries to bound its
+// footprint.
+type annScratch struct {
+	tokens    []textproc.Token
+	stems     map[string]bool
+	tids      map[uint32]bool
+	fv        []float64
+	std       []float64
+	stemCache map[string]string
+}
+
+const stemCacheMax = 1 << 14
+
+var annPool = sync.Pool{New: func() any {
+	return &annScratch{
+		stems:     make(map[string]bool),
+		tids:      make(map[uint32]bool),
+		stemCache: make(map[string]string),
+	}
+}}
+
+func (sc *annScratch) stemOf(w string) string {
+	if s, ok := sc.stemCache[w]; ok {
+		return s
+	}
+	s := stem.Stem(w)
+	if len(sc.stemCache) >= stemCacheMax {
+		clear(sc.stemCache)
+	}
+	sc.stemCache[w] = s
+	return s
+}
+
+// stemPass is the timed stemmer stage of AnnotateCtx: identical work to
+// StemDoc (the stemmed document is only a timing stage in Figure 4 — the
+// ranker consumes per-detection windows), but tokenizing into the pooled
+// buffer and writing into the cleared pooled set.
+func (rt *Runtime) stemPass(sc *annScratch, text string) {
+	start := time.Now()
+	sc.tokens = textproc.TokenizeInto(text, sc.tokens[:0])
+	clear(sc.stems)
+	for i := range sc.tokens {
+		t := &sc.tokens[i]
+		if t.Kind == textproc.Punct || t.Norm == "" || textproc.IsStopword(t.Norm) {
+			continue
+		}
+		sc.stems[sc.stemOf(t.Norm)] = true
+	}
+	rt.stemNanos.Add(time.Since(start).Nanoseconds())
+}
+
 // LocalRadius is the byte radius of the context used to score each
 // detection's relevance (mirrors relevance.LocalRadius: the paper estimates
 // relevance from keyword co-occurrence "in the context" of the occurrence).
@@ -73,6 +130,10 @@ func (rt *Runtime) Annotate(text string, topN int) []Annotation {
 	anns, _ := rt.AnnotateCtx(context.Background(), text, topN)
 	return anns
 }
+
+// allGroups is the full feature-group mask, hoisted so the ranking loop does
+// not rebuild the map per detection. Read-only after init.
+var allGroups = features.AllGroups()
 
 // cancelCheckEvery is how many ranking iterations run between cooperative
 // ctx checks: frequent enough that a deadline interrupts a pathological
@@ -91,7 +152,9 @@ func (rt *Runtime) AnnotateCtx(ctx context.Context, text string, topN int) ([]An
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rt.StemDoc(text) // the stemmer stage of Figure 4 (timed separately)
+	sc := annPool.Get().(*annScratch)
+	defer annPool.Put(sc)
+	rt.stemPass(sc, text) // the stemmer stage of Figure 4 (timed separately)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -118,12 +181,15 @@ func (rt *Runtime) AnnotateCtx(ctx context.Context, text string, topN int) ([]An
 			// large, but finite set of entities").
 			continue
 		}
-		rel := rt.Packs.Score(d.Norm, rt.localTIDs(text, d.Start, d.End))
-		fv := fields.Expand(features.AllGroups())
-		fv = append(fv, log1p(rel))
+		rel := rt.Packs.Score(d.Norm, rt.localTIDsInto(sc, text, d.Start, d.End))
+		sc.fv = fields.AppendExpand(sc.fv[:0], allGroups)
+		sc.fv = append(sc.fv, log1p(rel))
+		if cap(sc.std) < len(sc.fv) {
+			sc.std = make([]float64, 0, cap(sc.fv))
+		}
 		ranked = append(ranked, Annotation{
 			Detection: d,
-			Score:     rt.Model.Score(fv),
+			Score:     rt.Model.ScoreBuf(sc.fv, sc.std),
 			Relevance: rel,
 		})
 	}
@@ -202,6 +268,35 @@ func (rt *Runtime) AnnotateDegraded(text string, topN int) []Annotation {
 // localTIDs maps the stemmed content words near [start,end) to the Global
 // TID Table.
 func (rt *Runtime) localTIDs(text string, start, end int) map[uint32]bool {
+	stems := make(map[string]bool)
+	for _, w := range textproc.ContentWords(localWindow(text, start, end)) {
+		stems[stem.Stem(w)] = true
+	}
+	return rt.Packs.DocTIDs(stems)
+}
+
+// localTIDsInto is localTIDs writing into the pooled scratch: the window is
+// tokenized into sc.tokens and the TID set accumulates in sc.tids (cleared
+// first). The set is identical to localTIDs' — interning a stem twice is
+// idempotent — and valid until the next localTIDsInto call on sc.
+func (rt *Runtime) localTIDsInto(sc *annScratch, text string, start, end int) map[uint32]bool {
+	sc.tokens = textproc.TokenizeInto(localWindow(text, start, end), sc.tokens[:0])
+	clear(sc.tids)
+	for i := range sc.tokens {
+		t := &sc.tokens[i]
+		if t.Kind == textproc.Punct || t.Norm == "" || textproc.IsStopword(t.Norm) {
+			continue
+		}
+		if id, ok := rt.Packs.TIDs.ID(sc.stemOf(t.Norm)); ok {
+			sc.tids[id] = true
+		}
+	}
+	return sc.tids
+}
+
+// localWindow widens [start,end) by LocalRadius bytes on each side, then
+// extends to whitespace so no word is cut in half.
+func localWindow(text string, start, end int) string {
 	lo := start - LocalRadius
 	if lo < 0 {
 		lo = 0
@@ -216,11 +311,7 @@ func (rt *Runtime) localTIDs(text string, start, end int) map[uint32]bool {
 	for hi < len(text) && text[hi] != ' ' && text[hi] != '\n' {
 		hi++
 	}
-	stems := make(map[string]bool)
-	for _, w := range textproc.ContentWords(text[lo:hi]) {
-		stems[stem.Stem(w)] = true
-	}
-	return rt.Packs.DocTIDs(stems)
+	return text[lo:hi]
 }
 
 func log1p(x float64) float64 {

@@ -1,0 +1,212 @@
+// Package match implements the shared multi-pattern phrase matcher behind
+// the detection hot path: a vocabulary table interning every normalized
+// token that occurs in any pattern to a dense uint32 id, and a token-level
+// trie over those ids. A document is matched in a single pass — tokens are
+// interned once, then each position performs a longest-match trie walk with
+// zero per-probe allocations.
+//
+// The matcher preserves the greedy-longest semantics of the scanners it
+// replaced (taxonomy.Dictionary.FindInTokens, units.Set.FindInTokens): at
+// each token position the longest pattern starting there is reported, and
+// positions advance by one token regardless of matches, so nested phrases
+// at later positions are still found. DESIGN.md §10 records the
+// performance contract.
+package match
+
+// NoID marks a token that is not part of any pattern's vocabulary. No trie
+// edge carries it, so a walk stops at the first unknown token.
+const NoID = ^uint32(0)
+
+// Vocab interns normalized tokens to dense ids. Build-time only: Intern
+// assigns ids while patterns load; the serving path uses the read-only ID.
+type Vocab struct {
+	ids  map[string]uint32
+	toks []string
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{ids: make(map[string]uint32)}
+}
+
+// Intern returns the id of tok, assigning the next dense id if new.
+func (v *Vocab) Intern(tok string) uint32 {
+	if id, ok := v.ids[tok]; ok {
+		return id
+	}
+	id := uint32(len(v.toks))
+	v.ids[tok] = id
+	v.toks = append(v.toks, tok)
+	return id
+}
+
+// ID returns the id of tok, or NoID if the token occurs in no pattern.
+func (v *Vocab) ID(tok string) uint32 {
+	if id, ok := v.ids[tok]; ok {
+		return id
+	}
+	return NoID
+}
+
+// Len returns the number of interned tokens.
+func (v *Vocab) Len() int { return len(v.toks) }
+
+// Token returns the token interned as id.
+func (v *Vocab) Token(id uint32) string { return v.toks[id] }
+
+// AppendIDs appends the ids of tokens to dst and returns it. Unknown tokens
+// map to NoID. The usual call site passes a pooled dst[:0], making the
+// interning pass allocation-free in steady state.
+func (v *Vocab) AppendIDs(dst []uint32, tokens []string) []uint32 {
+	for _, t := range tokens {
+		id, ok := v.ids[t]
+		if !ok {
+			id = NoID
+		}
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+// noPattern marks a trie node that terminates no pattern.
+const noPattern = int32(-1)
+
+// Builder accumulates patterns and compiles the trie.
+type Builder struct {
+	vocab    *Vocab
+	pattern  []int32          // node -> pattern id (noPattern if interior)
+	edges    map[uint64]int32 // (node, token id) -> child node
+	patterns int
+	maxLen   int
+}
+
+// NewBuilder returns a builder interning into vocab (a fresh vocabulary if
+// nil). Sharing one vocabulary across builders lets callers intern a
+// document once for several matchers.
+func NewBuilder(vocab *Vocab) *Builder {
+	if vocab == nil {
+		vocab = NewVocab()
+	}
+	return &Builder{
+		vocab:   vocab,
+		pattern: []int32{noPattern}, // root
+		edges:   make(map[uint64]int32),
+	}
+}
+
+// Vocab returns the builder's vocabulary.
+func (b *Builder) Vocab() *Vocab { return b.vocab }
+
+func edgeKey(node int32, tok uint32) uint64 {
+	return uint64(node)<<32 | uint64(tok)
+}
+
+// Add registers a pattern given as its token sequence and returns its
+// pattern id (dense, in Add order). Adding the same token sequence twice
+// returns the first id. Empty patterns are rejected with id -1.
+func (b *Builder) Add(terms []string) int {
+	if len(terms) == 0 {
+		return -1
+	}
+	node := int32(0)
+	for _, t := range terms {
+		id := b.vocab.Intern(t)
+		key := edgeKey(node, id)
+		child, ok := b.edges[key]
+		if !ok {
+			child = int32(len(b.pattern))
+			b.pattern = append(b.pattern, noPattern)
+			b.edges[key] = child
+		}
+		node = child
+	}
+	if p := b.pattern[node]; p != noPattern {
+		return int(p)
+	}
+	p := int32(b.patterns)
+	b.pattern[node] = p
+	b.patterns++
+	if len(terms) > b.maxLen {
+		b.maxLen = len(terms)
+	}
+	return int(p)
+}
+
+// Build freezes the trie. The builder must not be reused afterwards.
+func (b *Builder) Build() *Matcher {
+	return &Matcher{vocab: b.vocab, pattern: b.pattern, edges: b.edges, patterns: b.patterns, maxLen: b.maxLen}
+}
+
+// Matcher is the compiled token-trie. It is immutable and safe for
+// concurrent use.
+type Matcher struct {
+	vocab    *Vocab
+	pattern  []int32
+	edges    map[uint64]int32
+	patterns int
+	maxLen   int
+}
+
+// Vocab returns the matcher's vocabulary.
+func (m *Matcher) Vocab() *Vocab { return m.vocab }
+
+// NumPatterns returns the number of distinct patterns compiled in.
+func (m *Matcher) NumPatterns() int { return m.patterns }
+
+// MaxLen returns the longest pattern length in tokens.
+func (m *Matcher) MaxLen() int { return m.maxLen }
+
+// LongestAt walks the trie from position i of ids and returns the pattern
+// id and end position (exclusive) of the longest pattern starting at i.
+// ok is false when no pattern starts there. The walk performs one map
+// probe per consumed token and allocates nothing.
+func (m *Matcher) LongestAt(ids []uint32, i int) (pattern, end int, ok bool) {
+	node := int32(0)
+	best := noPattern
+	for j := i; j < len(ids); j++ {
+		id := ids[j]
+		if id == NoID {
+			break
+		}
+		child, found := m.edges[edgeKey(node, id)]
+		if !found {
+			break
+		}
+		node = child
+		if p := m.pattern[node]; p != noPattern {
+			best, end = p, j+1
+		}
+	}
+	if best == noPattern {
+		return 0, 0, false
+	}
+	return int(best), end, true
+}
+
+// Match is one pattern occurrence in an id sequence.
+type Match struct {
+	// Pattern is the pattern id returned by Builder.Add.
+	Pattern int
+	// Start and End are token positions ([Start,End)).
+	Start, End int
+}
+
+// AppendMatches scans ids greedy-longest at every position and appends the
+// matches to dst, returning it. With a pre-sized dst the scan is
+// allocation-free.
+func (m *Matcher) AppendMatches(dst []Match, ids []uint32) []Match {
+	for i := 0; i < len(ids); i++ {
+		if p, end, ok := m.LongestAt(ids, i); ok {
+			dst = append(dst, Match{Pattern: p, Start: i, End: end})
+		}
+	}
+	return dst
+}
+
+// FindTokens interns tokens against the matcher's vocabulary and returns
+// all greedy-longest matches. Convenience path for tests and cold callers;
+// the hot path pre-interns and calls AppendMatches/LongestAt.
+func (m *Matcher) FindTokens(tokens []string) []Match {
+	ids := m.vocab.AppendIDs(make([]uint32, 0, len(tokens)), tokens)
+	return m.AppendMatches(nil, ids)
+}

@@ -1,0 +1,194 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func buildFrom(phrases ...string) *Matcher {
+	b := NewBuilder(nil)
+	for _, p := range phrases {
+		b.Add(strings.Fields(p))
+	}
+	return b.Build()
+}
+
+// reference is the pre-trie scanner semantics: phrases grouped by first
+// token, longest first, probe each candidate at every position.
+func reference(phrases []string, tokens []string) []Match {
+	ids := map[string]int{}
+	for i, p := range phrases {
+		ids[p] = i
+	}
+	var out []Match
+	for i := 0; i < len(tokens); i++ {
+		bestLen := 0
+		best := -1
+		for _, p := range phrases {
+			terms := strings.Fields(p)
+			if len(terms) <= bestLen || i+len(terms) > len(tokens) {
+				continue
+			}
+			ok := true
+			for j, t := range terms {
+				if tokens[i+j] != t {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				best, bestLen = ids[p], len(terms)
+			}
+		}
+		if best >= 0 {
+			out = append(out, Match{Pattern: best, Start: i, End: i + bestLen})
+		}
+	}
+	return out
+}
+
+func TestLongestMatchWins(t *testing.T) {
+	m := buildFrom("new york", "new york city", "york")
+	got := m.FindTokens(strings.Fields("in new york city today"))
+	// "new york city" wins at position 1; "york" still matches at position 2
+	// (positions advance one token at a time, matching the legacy scanners —
+	// the downstream collision pass drops the nested span).
+	want := []Match{{Pattern: 1, Start: 1, End: 4}, {Pattern: 2, Start: 2, End: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestNestedPhraseAtLaterPositionStillFound(t *testing.T) {
+	m := buildFrom("new york city", "york")
+	got := m.FindTokens(strings.Fields("new york city"))
+	// Greedy-longest at position 0, plus "york" at position 1: the scanner
+	// advances one token at a time, exactly like the byFirst loops did.
+	want := []Match{{Pattern: 0, Start: 0, End: 3}, {Pattern: 1, Start: 1, End: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestUnknownTokenBreaksWalk(t *testing.T) {
+	m := buildFrom("alpha beta gamma")
+	if got := m.FindTokens(strings.Fields("alpha beta delta")); len(got) != 0 {
+		t.Fatalf("unexpected match through unknown token: %+v", got)
+	}
+	if got := m.FindTokens(strings.Fields("alpha beta gamma")); len(got) != 1 {
+		t.Fatalf("full phrase should match: %+v", got)
+	}
+}
+
+func TestDuplicateAddReturnsSameID(t *testing.T) {
+	b := NewBuilder(nil)
+	a := b.Add([]string{"x", "y"})
+	if b.Add([]string{"x", "y"}) != a {
+		t.Fatal("duplicate pattern got a new id")
+	}
+	if b.Add(nil) != -1 {
+		t.Fatal("empty pattern should be rejected")
+	}
+	m := b.Build()
+	if m.NumPatterns() != 1 || m.MaxLen() != 2 {
+		t.Fatalf("patterns=%d maxLen=%d", m.NumPatterns(), m.MaxLen())
+	}
+}
+
+func TestSharedVocabAcrossBuilders(t *testing.T) {
+	v := NewVocab()
+	b1 := NewBuilder(v)
+	b1.Add([]string{"jaguar"})
+	b2 := NewBuilder(v)
+	b2.Add([]string{"jaguar", "cars"})
+	m1, m2 := b1.Build(), b2.Build()
+	toks := []string{"jaguar", "cars"}
+	ids := v.AppendIDs(nil, toks)
+	if got := m1.AppendMatches(nil, ids); len(got) != 1 || got[0].End != 1 {
+		t.Fatalf("m1 matches = %+v", got)
+	}
+	if got := m2.AppendMatches(nil, ids); len(got) != 1 || got[0].End != 2 {
+		t.Fatalf("m2 matches = %+v", got)
+	}
+}
+
+func TestVocabUnknownIsNoID(t *testing.T) {
+	v := NewVocab()
+	v.Intern("known")
+	if v.ID("unknown") != NoID {
+		t.Fatal("unknown token must map to NoID")
+	}
+	if v.ID("known") != 0 || v.Token(0) != "known" || v.Len() != 1 {
+		t.Fatal("interning bookkeeping broken")
+	}
+}
+
+func TestEmptyAndShortInputs(t *testing.T) {
+	m := buildFrom("a b c")
+	if got := m.FindTokens(nil); len(got) != 0 {
+		t.Fatalf("empty input matched: %+v", got)
+	}
+	if got := m.FindTokens([]string{"a", "b"}); len(got) != 0 {
+		t.Fatalf("phrase longer than input matched: %+v", got)
+	}
+}
+
+// TestDifferentialRandom cross-checks the trie against the reference
+// quadratic scanner on random phrase inventories and documents.
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	vocabulary := make([]string, 30)
+	for i := range vocabulary {
+		vocabulary[i] = fmt.Sprintf("w%d", i)
+	}
+	for trial := 0; trial < 200; trial++ {
+		nPhrases := 1 + rng.Intn(12)
+		seen := map[string]bool{}
+		var phrases []string
+		for len(phrases) < nPhrases {
+			l := 1 + rng.Intn(4)
+			terms := make([]string, l)
+			for i := range terms {
+				terms[i] = vocabulary[rng.Intn(len(vocabulary))]
+			}
+			p := strings.Join(terms, " ")
+			if !seen[p] {
+				seen[p] = true
+				phrases = append(phrases, p)
+			}
+		}
+		doc := make([]string, rng.Intn(60))
+		for i := range doc {
+			doc[i] = vocabulary[rng.Intn(len(vocabulary))]
+		}
+		m := buildFrom(phrases...)
+		got := m.FindTokens(doc)
+		want := reference(phrases, doc)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: phrases=%v doc=%v\ngot  %+v\nwant %+v", trial, phrases, doc, got, want)
+		}
+	}
+}
+
+func TestAppendMatchesZeroAlloc(t *testing.T) {
+	m := buildFrom("alpha beta", "gamma")
+	ids := m.Vocab().AppendIDs(nil, []string{"alpha", "beta", "gamma", "alpha", "beta"})
+	dst := make([]Match, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = m.AppendMatches(dst[:0], ids)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendMatches allocated %.1f objects per run", allocs)
+	}
+	idBuf := make([]uint32, 0, 8)
+	toks := []string{"alpha", "beta", "zzz"}
+	allocs = testing.AllocsPerRun(100, func() {
+		idBuf = m.Vocab().AppendIDs(idBuf[:0], toks)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendIDs allocated %.1f objects per run", allocs)
+	}
+}

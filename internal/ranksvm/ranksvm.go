@@ -306,7 +306,17 @@ func trainLinear(std [][]float64, pairs []pair, opts Options, rng *rand.Rand) []
 // Score returns the ranking score of a raw (unstandardized) feature vector.
 // Higher is better.
 func (m *Model) Score(features []float64) float64 {
-	x := applyStandardize(features, m.Mean, m.Scale)
+	return m.ScoreBuf(features, nil)
+}
+
+// ScoreBuf is Score using buf as the standardization scratch, so a serving
+// loop can reuse one buffer across calls instead of allocating per vector.
+// features is not modified; buf's contents are overwritten.
+func (m *Model) ScoreBuf(features, buf []float64) float64 {
+	x := append(buf[:0], features...)
+	for d := range x {
+		x[d] = (x[d] - m.Mean[d]) / m.Scale[d]
+	}
 	switch m.Kernel {
 	case Linear:
 		s := 0.0

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"hash/fnv"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the annotation response cache: a sharded LRU over serialized
+// /v1/annotate bodies with single-flight coalescing of concurrent misses.
+//
+// Contract (DESIGN.md §10):
+//
+//   - Keyed by the FNV-64a hash of the stripped document text plus topN. A
+//     hit returns the exact bytes the cold path produced, so cached and
+//     fresh responses are byte-identical. Hash collisions are detected by
+//     comparing the stored text and demoted to misses — a collision can
+//     waste a slot, never serve the wrong document's annotations.
+//   - Degraded responses (shed or deadline-expired requests) are never
+//     stored: they reflect transient pressure, not the document.
+//   - Hits bypass the admission gate — serving memory must stay cheap under
+//     exactly the load spikes that make the gate shed.
+//   - Concurrent misses on one key coalesce: a single leader runs the
+//     pipeline while followers wait for its bytes (or their own deadline).
+//
+// Sharding keeps the lock a per-shard mutex held only for map/list pokes;
+// the pipeline itself always runs outside any cache lock.
+type Cache struct {
+	shards    []cacheShard
+	perShard  int
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	coalesced atomic.Int64
+}
+
+// numCacheShards is the shard count (power of two, so shard selection is a
+// mask). 16 shards keep lock contention negligible at serving parallelism.
+const numCacheShards = 16
+
+type cacheKey struct {
+	hash uint64
+	top  int
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	text string // full key text: collision check on hit
+	body []byte
+}
+
+// flight is one in-progress computation; followers block on done.
+type flight struct {
+	done chan struct{}
+	body []byte
+	ok   bool // false: leader produced an uncacheable (degraded) response
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*list.Element // of *cacheEntry
+	lru     *list.List                 // front = most recent
+	flights map[cacheKey]*flight
+}
+
+// NewCache builds a cache holding up to capacity responses (rounded up to a
+// multiple of the shard count). capacity <= 0 returns nil — a nil *Cache is
+// a valid "caching disabled" value everywhere.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := (capacity + numCacheShards - 1) / numCacheShards
+	c := &Cache{shards: make([]cacheShard, numCacheShards), perShard: per}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[cacheKey]*list.Element)
+		c.shards[i].lru = list.New()
+		c.shards[i].flights = make(map[cacheKey]*flight)
+	}
+	return c
+}
+
+func cacheHash(text string, top int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(text)) // fnv never errors
+	_, _ = h.Write([]byte(strconv.Itoa(top)))
+	return h.Sum64()
+}
+
+func (c *Cache) shard(k cacheKey) *cacheShard {
+	return &c.shards[k.hash&(numCacheShards-1)]
+}
+
+// get returns the cached body for (text, top) and bumps its recency.
+func (c *Cache) get(k cacheKey, text string) ([]byte, bool) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[k]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.text != text {
+		return nil, false // hash collision: treat as miss
+	}
+	sh.lru.MoveToFront(el)
+	return ent.body, true
+}
+
+// put stores body under (text, top), evicting the shard's LRU tail on
+// overflow.
+func (c *Cache) put(k cacheKey, text string, body []byte) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[k]; ok {
+		el.Value.(*cacheEntry).text = text
+		el.Value.(*cacheEntry).body = body
+		sh.lru.MoveToFront(el)
+		return
+	}
+	sh.entries[k] = sh.lru.PushFront(&cacheEntry{key: k, text: text, body: body})
+	if sh.lru.Len() > c.perShard {
+		tail := sh.lru.Back()
+		sh.lru.Remove(tail)
+		delete(sh.entries, tail.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Do returns the cached response for (text, top) or computes it via fn,
+// coalescing concurrent misses on the same key. fn reports whether its
+// result is cacheable (degraded responses are not). The returned bytes must
+// be treated as read-only. An error is only returned to a *follower* whose
+// ctx expires while waiting; the leader always returns fn's result.
+func (c *Cache) Do(ctx context.Context, text string, top int, fn func() ([]byte, bool)) ([]byte, error) {
+	k := cacheKey{hash: cacheHash(text, top), top: top}
+	if body, ok := c.get(k, text); ok {
+		c.hits.Add(1)
+		return body, nil
+	}
+	c.misses.Add(1)
+
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if fl, ok := sh.flights[k]; ok {
+		sh.mu.Unlock()
+		c.coalesced.Add(1)
+		select {
+		case <-fl.done:
+			return fl.body, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.flights[k] = fl
+	sh.mu.Unlock()
+
+	fl.body, fl.ok = fn()
+	sh.mu.Lock()
+	delete(sh.flights, k)
+	sh.mu.Unlock()
+	close(fl.done)
+	if fl.ok {
+		c.put(k, text, fl.body)
+	}
+	return fl.body, nil
+}
+
+// CacheStats is the /statz view of the cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Coalesced int64 `json:"coalesced"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Stats snapshots the counters and current occupancy.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Coalesced: c.coalesced.Load(),
+		Capacity:  c.perShard * numCacheShards,
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Entries += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"contextrank/internal/resilience"
+)
+
+// TestCacheHitBytesIdenticalToCold is the cache differential: the same
+// request served cold, served from cache, and served by a cache-less server
+// must produce byte-identical bodies.
+func TestCacheHitBytesIdenticalToCold(t *testing.T) {
+	srv := testServer(t)
+	srv.Cache = NewCache(64)
+	h := srv.Handler()
+	plain := testServer(t).Handler() // no cache
+
+	req := AnnotateRequest{Text: "the alphaword met the betaword near ctx; email a@b.com", Top: 2}
+	cold := postJSON(t, h, "/v1/annotate", req)
+	hit := postJSON(t, h, "/v1/annotate", req)
+	uncached := postJSON(t, plain, "/v1/annotate", req)
+	if cold.Code != http.StatusOK || hit.Code != http.StatusOK {
+		t.Fatalf("status cold=%d hit=%d", cold.Code, hit.Code)
+	}
+	if !bytes.Equal(cold.Body.Bytes(), hit.Body.Bytes()) {
+		t.Fatalf("cache hit bytes differ from cold bytes:\ncold %s\nhit  %s", cold.Body, hit.Body)
+	}
+	if !bytes.Equal(cold.Body.Bytes(), uncached.Body.Bytes()) {
+		t.Fatalf("cached server bytes differ from cache-less server:\ncached   %s\nuncached %s", cold.Body, uncached.Body)
+	}
+	st := srv.Cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("counters after cold+hit: %+v", st)
+	}
+
+	// Different topN is a different key.
+	postJSON(t, h, "/v1/annotate", AnnotateRequest{Text: req.Text, Top: 1})
+	if st := srv.Cache.Stats(); st.Misses != 2 {
+		t.Fatalf("topN must be part of the key: %+v", st)
+	}
+}
+
+// TestCacheNeverStoresDegraded: responses produced under shedding (a gate
+// with zero capacity sheds everything) must not be cached — a later
+// uncontended request has to run the full pipeline.
+func TestCacheNeverStoresDegraded(t *testing.T) {
+	srv := testServer(t)
+	srv.Cache = NewCache(64)
+	srv.Gate = resilience.NewGate(1, 0, 0)
+	h := srv.Handler()
+
+	// Hold the only slot so the request below is shed.
+	release, err := srv.Gate.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := AnnotateRequest{Text: "the alphaword story", Top: 1}
+	rec := postJSON(t, h, "/v1/annotate", req)
+	var resp AnnotateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Fatal("request with a full gate should degrade")
+	}
+	release()
+
+	rec = postJSON(t, h, "/v1/annotate", req)
+	var resp2 AnnotateResponse // fresh: degraded is omitempty
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Degraded {
+		t.Fatal("degraded response was served from cache")
+	}
+	if st := srv.Cache.Stats(); st.Hits != 0 || st.Entries != 1 {
+		t.Fatalf("expected 0 hits and only the full response stored: %+v", st)
+	}
+}
+
+// TestCacheHitBypassesGate: a zero-capacity gate sheds every cold request,
+// but a warmed key must still serve the full (cached) response.
+func TestCacheHitBypassesGate(t *testing.T) {
+	srv := testServer(t)
+	srv.Cache = NewCache(64)
+	h := srv.Handler()
+
+	req := AnnotateRequest{Text: "the alphaword story", Top: 1}
+	postJSON(t, h, "/v1/annotate", req) // warm while unbounded
+
+	srv.Gate = resilience.NewGate(1, 0, 0)
+	release, err := srv.Gate.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	rec := postJSON(t, h, "/v1/annotate", req)
+	var resp AnnotateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded {
+		t.Fatal("cache hit went through the (full) admission gate")
+	}
+	if st := srv.Cache.Stats(); st.Hits != 1 {
+		t.Fatalf("expected a cache hit: %+v", st)
+	}
+}
+
+// TestCacheEviction fills the cache past capacity and checks the eviction
+// counter and occupancy bound.
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(numCacheShards) // one entry per shard
+	for i := 0; i < 10*numCacheShards; i++ {
+		text := fmt.Sprintf("doc %d", i)
+		if _, err := c.Do(context.Background(), text, 3, func() ([]byte, bool) {
+			return []byte(text), true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries > st.Capacity {
+		t.Fatalf("occupancy %d exceeds capacity %d", st.Entries, st.Capacity)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("overfilling the cache evicted nothing")
+	}
+}
+
+// TestCacheCoalescesConcurrentMisses: concurrent misses on one key run the
+// pipeline once; followers receive the leader's bytes.
+func TestCacheCoalescesConcurrentMisses(t *testing.T) {
+	c := NewCache(64)
+	computed := 0
+	var mu sync.Mutex
+	started := make(chan struct{})
+	proceed := make(chan struct{})
+
+	const followers = 4
+	results := make([][]byte, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(followers + 1)
+	go func() {
+		defer wg.Done()
+		body, _ := c.Do(context.Background(), "doc", 3, func() ([]byte, bool) {
+			mu.Lock()
+			computed++
+			mu.Unlock()
+			close(started)
+			<-proceed
+			return []byte("payload"), true
+		})
+		results[0] = body
+	}()
+	<-started
+	for i := 1; i <= followers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			body, err := c.Do(context.Background(), "doc", 3, func() ([]byte, bool) {
+				mu.Lock()
+				computed++
+				mu.Unlock()
+				return []byte("payload"), true
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = body
+		}(i)
+	}
+	// Give followers a moment to park on the flight, then release the leader.
+	time.Sleep(20 * time.Millisecond)
+	close(proceed)
+	wg.Wait()
+
+	for i, r := range results {
+		if string(r) != "payload" {
+			t.Fatalf("caller %d got %q", i, r)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// The leader computes once; a follower may legitimately recompute only
+	// if it raced ahead of the flight registration, which the started/park
+	// choreography prevents for the leader's window.
+	if computed != 1 {
+		t.Fatalf("pipeline ran %d times for one key", computed)
+	}
+	if st := c.Stats(); st.Coalesced != followers {
+		t.Fatalf("coalesced = %d, want %d", st.Coalesced, followers)
+	}
+}

@@ -63,6 +63,10 @@ type Server struct {
 	Gate *resilience.Gate
 	// Injector enables deterministic fault injection (nil = off).
 	Injector *resilience.Injector
+	// Cache is the /v1/annotate response cache (nil = disabled). Hits
+	// serve the exact bytes of the original cold response and bypass the
+	// admission gate; see Cache for the full contract.
+	Cache *Cache
 
 	ready       atomic.Bool
 	requests    atomic.Int64
@@ -229,14 +233,34 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 
+	if s.Cache == nil {
+		body, _ := s.annotateBody(ctx, text, top)
+		s.writeRawJSON(w, body)
+		return
+	}
+	body, err := s.Cache.Do(ctx, text, top, func() ([]byte, bool) {
+		return s.annotateBody(ctx, text, top)
+	})
+	if err != nil {
+		// Follower whose deadline expired while waiting on the leader:
+		// answer degraded like any other deadline exhaustion.
+		s.rz.DeadlineExpired.Add(1)
+		s.writeRawJSON(w, s.marshalAnnotations(text, s.degraded(text, top), true))
+		return
+	}
+	s.writeRawJSON(w, body)
+}
+
+// annotateBody runs the gated annotate pipeline and serializes the response,
+// reporting whether the bytes are cacheable (degraded responses are not).
+func (s *Server) annotateBody(ctx context.Context, text string, top int) (body []byte, cacheable bool) {
 	release, err := s.admit(ctx)
 	if err != nil {
 		// Shed: answer degraded instead of erroring. The cheap ranking
 		// deliberately runs outside the gate — it is the pressure-relief
 		// valve, and admitting it through the gate would defeat shedding.
 		s.rz.Shed.Add(1)
-		s.writeAnnotations(w, text, s.degraded(text, top), true)
-		return
+		return s.marshalAnnotations(text, s.degraded(text, top), true), false
 	}
 	defer release()
 	resilience.ChaosDelay(ctx)
@@ -246,10 +270,9 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		// Deadline exhausted mid-pipeline: fall back to the cheap ranking
 		// (still holding the slot; the fallback is fast and bounded).
 		s.rz.DeadlineExpired.Add(1)
-		s.writeAnnotations(w, text, s.degraded(text, top), true)
-		return
+		return s.marshalAnnotations(text, s.degraded(text, top), true), false
 	}
-	s.writeAnnotations(w, text, anns, false)
+	return s.marshalAnnotations(text, anns, false), true
 }
 
 // degraded runs the dictionary-prior fallback and counts it.
@@ -258,8 +281,10 @@ func (s *Server) degraded(text string, top int) []framework.Annotation {
 	return s.Runtime.AnnotateDegraded(text, top)
 }
 
-// writeAnnotations serializes the annotation list as an AnnotateResponse.
-func (s *Server) writeAnnotations(w http.ResponseWriter, text string, anns []framework.Annotation, degraded bool) {
+// marshalAnnotations serializes the annotation list as an AnnotateResponse
+// body. The bytes match json.Encoder output (trailing newline included), so
+// cached and freshly encoded responses are byte-identical.
+func (s *Server) marshalAnnotations(text string, anns []framework.Annotation, degraded bool) []byte {
 	resp := AnnotateResponse{Text: text, Annotations: make([]AnnotationJSON, 0, len(anns)), Degraded: degraded}
 	for _, a := range anns {
 		aj := AnnotationJSON{
@@ -279,7 +304,20 @@ func (s *Server) writeAnnotations(w http.ResponseWriter, text string, anns []fra
 		}
 		resp.Annotations = append(resp.Annotations, aj)
 	}
-	s.writeJSON(w, resp)
+	body, err := json.Marshal(resp)
+	if err != nil {
+		// AnnotateResponse contains only marshalable fields; unreachable.
+		panic("serve: marshal annotate response: " + err.Error())
+	}
+	return append(body, '\n')
+}
+
+// writeRawJSON writes a pre-serialized JSON body.
+func (s *Server) writeRawJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(body); err != nil {
+		s.writeErrors.Add(1)
+	}
 }
 
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
@@ -379,6 +417,9 @@ type Stats struct {
 	GateCapacity int `json:"gate_capacity"`
 
 	Resilience resilience.Snapshot `json:"resilience"`
+
+	// Cache reports the annotation-cache counters (absent when disabled).
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -395,6 +436,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		st.InFlight = s.Gate.InFlight()
 		st.QueueDepth = s.Gate.QueueDepth()
 		st.GateCapacity = s.Gate.Capacity()
+	}
+	if s.Cache != nil {
+		cs := s.Cache.Stats()
+		st.Cache = &cs
 	}
 	s.writeJSON(w, st)
 }

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"contextrank/internal/match"
 	"contextrank/internal/world"
 )
 
@@ -35,11 +36,24 @@ type GeoPoint struct {
 }
 
 // Dictionary is the in-memory data-pack of editorial entries, pre-loaded
-// "to allow for high-performance entity detection".
+// "to allow for high-performance entity detection". buildIndex compiles the
+// phrases into a token-trie matcher over an interned vocabulary so the
+// serving path scans a document in one pass with zero per-probe
+// allocations (DESIGN.md §10).
 type Dictionary struct {
 	entries map[string][]Entry // phrase -> entries (multiple when ambiguous)
-	byFirst map[string][]string
-	maxLen  int
+	vocab   *match.Vocab
+	matcher *match.Matcher
+	pats    []dictPattern // pattern id -> payload
+}
+
+// dictPattern is the per-phrase payload resolved by a trie match. Terms are
+// split once at buildIndex time; nothing on the match path re-splits a
+// phrase (guarded by TestFindInIDsZeroAlloc).
+type dictPattern struct {
+	phrase  string
+	terms   []string
+	entries []Entry
 }
 
 // Build constructs the dictionary from the world's typed concepts. An
@@ -48,10 +62,7 @@ type Dictionary struct {
 // multiple types, such as the term jaguar".
 func Build(w *world.World, seed int64) *Dictionary {
 	rng := rand.New(rand.NewSource(seed))
-	d := &Dictionary{
-		entries: make(map[string][]Entry),
-		byFirst: make(map[string][]string),
-	}
+	d := &Dictionary{entries: make(map[string][]Entry)}
 	for i := range w.Concepts {
 		c := &w.Concepts[i]
 		if c.Type == world.TypeNone {
@@ -104,28 +115,36 @@ func (d *Dictionary) add(e Entry) {
 	d.entries[e.Phrase] = append(d.entries[e.Phrase], e)
 }
 
+// buildIndex compiles the loaded phrases into the trie matcher. Phrases are
+// split into terms exactly once, here; pattern ids are assigned in sorted
+// phrase order so two dictionaries with the same entries compile identical
+// matchers regardless of map iteration order.
 func (d *Dictionary) buildIndex() {
+	phrases := make([]string, 0, len(d.entries))
 	for phrase := range d.entries {
+		phrases = append(phrases, phrase)
+	}
+	sort.Strings(phrases)
+	b := match.NewBuilder(nil)
+	d.pats = make([]dictPattern, 0, len(phrases))
+	for _, phrase := range phrases {
 		terms := strings.Fields(phrase)
 		if len(terms) == 0 {
 			continue
 		}
-		d.byFirst[terms[0]] = append(d.byFirst[terms[0]], phrase)
-		if len(terms) > d.maxLen {
-			d.maxLen = len(terms)
+		if id := b.Add(terms); id != len(d.pats) {
+			// Phrases are unique map keys, so ids are dense and in order.
+			panic("taxonomy: non-dense pattern id")
 		}
+		d.pats = append(d.pats, dictPattern{phrase: phrase, terms: terms, entries: d.entries[phrase]})
 	}
-	for first := range d.byFirst {
-		ps := d.byFirst[first]
-		sort.Slice(ps, func(i, j int) bool {
-			li, lj := strings.Count(ps[i], " "), strings.Count(ps[j], " ")
-			if li != lj {
-				return li > lj
-			}
-			return ps[i] < ps[j]
-		})
-	}
+	d.matcher = b.Build()
+	d.vocab = b.Vocab()
 }
+
+// Vocab exposes the interned phrase vocabulary so the detection pipeline
+// can map a document's tokens to ids once per document.
+func (d *Dictionary) Vocab() *match.Vocab { return d.vocab }
 
 // NumPhrases returns the number of distinct dictionary phrases.
 func (d *Dictionary) NumPhrases() int { return len(d.entries) }
@@ -156,35 +175,33 @@ type Match struct {
 }
 
 // FindInTokens scans normalized tokens for dictionary phrases,
-// greedy-longest at each position.
+// greedy-longest at each position. Compatibility wrapper around the id
+// path: it interns the tokens per call, so hot callers should intern once
+// with Vocab().AppendIDs and use FindInIDs instead.
 func (d *Dictionary) FindInTokens(tokens []string) []Match {
-	var out []Match
-	for i := 0; i < len(tokens); i++ {
-		for _, phrase := range d.byFirst[tokens[i]] {
-			terms := strings.Fields(phrase)
-			if i+len(terms) > len(tokens) {
-				continue
-			}
-			ok := true
-			for j, term := range terms {
-				if tokens[i+j] != term {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				out = append(out, Match{
-					Phrase:  phrase,
-					Entries: d.entries[phrase],
-					Start:   i,
-					End:     i + len(terms),
-				})
-				break
-			}
+	if len(tokens) == 0 {
+		return nil
+	}
+	ids := d.vocab.AppendIDs(make([]uint32, 0, len(tokens)), tokens)
+	return d.FindInIDs(ids, nil)
+}
+
+// FindInIDs scans interned token ids (from Vocab().AppendIDs) and appends
+// the matches to dst, returning it. With a pre-sized dst the scan performs
+// zero allocations.
+func (d *Dictionary) FindInIDs(ids []uint32, dst []Match) []Match {
+	for i := 0; i < len(ids); i++ {
+		if p, end, ok := d.matcher.LongestAt(ids, i); ok {
+			pat := &d.pats[p]
+			dst = append(dst, Match{Phrase: pat.phrase, Entries: pat.entries, Start: i, End: end})
 		}
 	}
-	return out
+	return dst
 }
+
+// entityTypeRange bounds the per-type vote arrays used by disambiguation
+// (EntityType values are a small closed enum; see world.EntityType).
+const entityTypeRange = int(world.TypeAnimal) + 1
 
 // Disambiguate selects the best entry for a match given the surrounding
 // normalized context tokens. The heuristic scores each entry's type by
@@ -195,19 +212,35 @@ func (d *Dictionary) Disambiguate(m Match, context []string) Entry {
 	if len(m.Entries) == 1 {
 		return m.Entries[0]
 	}
-	typeVotes := make(map[world.EntityType]int)
-	for _, cm := range d.FindInTokens(context) {
-		if cm.Phrase == m.Phrase || len(cm.Entries) != 1 {
-			continue
-		}
-		typeVotes[cm.Entries[0].Type]++
+	ids := d.vocab.AppendIDs(make([]uint32, 0, len(context)), context)
+	return *d.DisambiguateIDs(m, ids)
+}
+
+// DisambiguateIDs is Disambiguate over pre-interned context ids. It
+// allocates nothing and returns a pointer into the dictionary's entry
+// table, which is immutable after load — callers must treat it as
+// read-only.
+func (d *Dictionary) DisambiguateIDs(m Match, ctx []uint32) *Entry {
+	if len(m.Entries) == 1 {
+		return &m.Entries[0]
 	}
-	best := m.Entries[0]
-	bestVotes := typeVotes[best.Type]
-	for _, e := range m.Entries[1:] {
-		if v := typeVotes[e.Type]; v > bestVotes {
-			best, bestVotes = e, v
+	var votes [entityTypeRange]int
+	for i := 0; i < len(ctx); i++ {
+		if p, _, ok := d.matcher.LongestAt(ctx, i); ok {
+			// Only unambiguous neighbours vote; the ambiguous phrase under
+			// disambiguation has ≥ 2 entries and so can never vote for
+			// itself.
+			if es := d.pats[p].entries; len(es) == 1 {
+				votes[es[0].Type]++
+			}
 		}
 	}
-	return best
+	best := 0
+	bestVotes := votes[m.Entries[0].Type]
+	for i := 1; i < len(m.Entries); i++ {
+		if v := votes[m.Entries[i].Type]; v > bestVotes {
+			best, bestVotes = i, v
+		}
+	}
+	return &m.Entries[best]
 }

@@ -127,7 +127,7 @@ func TestFindInTokens(t *testing.T) {
 }
 
 func TestFindInTokensGreedyLongest(t *testing.T) {
-	d := &Dictionary{entries: map[string][]Entry{}, byFirst: map[string][]string{}}
+	d := &Dictionary{entries: map[string][]Entry{}}
 	d.add(Entry{Phrase: "new york", Type: world.TypePlace})
 	d.add(Entry{Phrase: "new york city", Type: world.TypePlace})
 	d.buildIndex()
@@ -138,7 +138,7 @@ func TestFindInTokensGreedyLongest(t *testing.T) {
 }
 
 func TestDisambiguateByContext(t *testing.T) {
-	d := &Dictionary{entries: map[string][]Entry{}, byFirst: map[string][]string{}}
+	d := &Dictionary{entries: map[string][]Entry{}}
 	d.add(Entry{Phrase: "jaguar", Type: world.TypeAnimal, Subtype: "mammal"})
 	d.add(Entry{Phrase: "jaguar", Type: world.TypeProduct, Subtype: "vehicle"})
 	d.add(Entry{Phrase: "rainforest", Type: world.TypeAnimal, Subtype: "mammal"})
@@ -192,5 +192,34 @@ func TestMatchSpans(t *testing.T) {
 		if got != m.Phrase {
 			t.Fatalf("span %q != phrase %q", got, m.Phrase)
 		}
+	}
+}
+
+// TestFindInIDsZeroAlloc guards the DESIGN.md §10 contract: phrase terms
+// are split once at buildIndex time, and the match path (interning, trie
+// walk, disambiguation) never re-splits a phrase or allocates per probe.
+func TestFindInIDsZeroAlloc(t *testing.T) {
+	d := &Dictionary{entries: map[string][]Entry{}}
+	d.add(Entry{Phrase: "new york city", Type: world.TypePlace})
+	d.add(Entry{Phrase: "new york", Type: world.TypePlace})
+	d.add(Entry{Phrase: "jaguar", Type: world.TypeAnimal})
+	d.add(Entry{Phrase: "jaguar", Type: world.TypeProduct})
+	d.buildIndex()
+
+	tokens := strings.Fields("the jaguar left new york city for new york again")
+	ids := make([]uint32, 0, len(tokens))
+	dst := make([]Match, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		ids = d.Vocab().AppendIDs(ids[:0], tokens)
+		dst = d.FindInIDs(ids, dst[:0])
+		for _, m := range dst {
+			d.DisambiguateIDs(m, ids)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("id match path allocated %.1f objects per run", allocs)
+	}
+	if len(dst) == 0 {
+		t.Fatal("expected matches")
 	}
 }

@@ -59,10 +59,7 @@ func (d *Dictionary) WriteTSV(w io.Writer) error {
 // Malformed lines fail with their line number so editorial errors are easy
 // to locate.
 func ReadTSV(r io.Reader) (*Dictionary, error) {
-	d := &Dictionary{
-		entries: make(map[string][]Entry),
-		byFirst: make(map[string][]string),
-	}
+	d := &Dictionary{entries: make(map[string][]Entry)}
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0

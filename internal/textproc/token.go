@@ -53,7 +53,17 @@ func (t Token) IsWord() bool { return t.Kind == Word }
 // Sentence and Paragraph indexes are filled in by AssignBoundaries, which
 // Tokenize calls before returning.
 func Tokenize(text string) []Token {
-	tokens := make([]Token, 0, len(text)/6+4)
+	return TokenizeInto(text, nil)
+}
+
+// TokenizeInto is Tokenize appending into buf (pass buf[:0] to reuse a
+// scratch buffer across documents; the detection hot path pools these).
+// The returned slice aliases buf's backing array when capacity suffices.
+func TokenizeInto(text string, buf []Token) []Token {
+	tokens := buf
+	if cap(tokens) == 0 {
+		tokens = make([]Token, 0, len(text)/6+4)
+	}
 	i := 0
 	for i < len(text) {
 		r, size := decodeRune(text[i:])

@@ -1,0 +1,58 @@
+package units
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"contextrank/internal/newsgen"
+	"contextrank/internal/querylog"
+	"contextrank/internal/textproc"
+	"contextrank/internal/world"
+)
+
+// referenceFind is the pre-trie scanner kept as executable specification:
+// greedy-longest lookup of re-joined token windows against the unit map,
+// advancing one token per position. FindInIDs must stay bit-identical.
+func referenceFind(s *Set, tokens []string) []Match {
+	var out []Match
+	for i := 0; i < len(tokens); i++ {
+		for n := s.maxLen; n >= 1; n-- {
+			if i+n > len(tokens) {
+				continue
+			}
+			if u := s.units[strings.Join(tokens[i:i+n], " ")]; u != nil {
+				out = append(out, Match{Unit: u, Start: i, End: i + n})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestDifferentialTrieVsReference scans a generated news corpus against a
+// query-log-mined unit set with both scanners and requires bit-identical
+// match streams.
+func TestDifferentialTrieVsReference(t *testing.T) {
+	w := world.New(world.Config{Seed: 81, VocabSize: 1500, NumTopics: 8, NumConcepts: 250})
+	l := querylog.Generate(w, querylog.Config{Seed: 82})
+	s := Extract(l, Config{})
+	docs := newsgen.Generate(w, newsgen.Config{Seed: 83, NumStories: 30, MinSentences: 5, MaxSentences: 15})
+	matched := 0
+	for _, doc := range docs {
+		tokens := textproc.Words(doc.Text)
+		ids := s.Vocab().AppendIDs(nil, tokens)
+		got := s.FindInIDs(ids, nil)
+		want := referenceFind(s, tokens)
+		if len(got) == 0 {
+			got = nil // FindInIDs with an empty dst returns a non-nil empty slice
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trie and reference scanner disagree on story %d:\n got %+v\nwant %+v", doc.ID, got, want)
+		}
+		matched += len(got)
+	}
+	if matched == 0 {
+		t.Fatal("differential corpus produced no matches — test is vacuous")
+	}
+}

@@ -14,7 +14,9 @@ import (
 	"sort"
 	"strings"
 
+	"contextrank/internal/match"
 	"contextrank/internal/querylog"
+	"contextrank/internal/textproc"
 )
 
 // Unit is a validated concept unit.
@@ -32,6 +34,10 @@ type Unit struct {
 	// Score is the normalized unit score in [0,1] used by the concept
 	// vector and by the unit_score interestingness feature.
 	Score float64
+	// StopOnly marks units whose terms are all stop-words. Precomputed at
+	// extraction time so the detection filter never re-tokenizes the unit
+	// text on the hot path.
+	StopOnly bool
 }
 
 // Config parameterizes extraction.
@@ -59,11 +65,14 @@ func (c Config) withDefaults() Config {
 }
 
 // Set is the extracted unit inventory with phrase lookup and in-document
-// scanning support.
+// scanning support. Scanning runs on a token-trie matcher over an interned
+// vocabulary, built once at extraction time (DESIGN.md §10).
 type Set struct {
 	units   map[string]*Unit
-	byFirst map[string][]*Unit // first term -> units, longest first
 	maxLen  int
+	vocab   *match.Vocab
+	matcher *match.Matcher
+	pats    []*Unit // pattern id -> unit
 }
 
 // Extract runs the iterative unit-extraction algorithm over the log.
@@ -71,7 +80,9 @@ func Extract(l *querylog.Log, cfg Config) *Set {
 	cfg = cfg.withDefaults()
 	total := float64(l.TotalFreq())
 	if total == 0 {
-		return &Set{units: map[string]*Unit{}, byFirst: map[string][]*Unit{}, maxLen: cfg.MaxLen}
+		s := &Set{units: map[string]*Unit{}, maxLen: cfg.MaxLen}
+		s.buildIndex()
+		return s
 	}
 
 	// Pass 1: frequency of every contiguous n-gram, n ≤ MaxLen, weighted by
@@ -92,7 +103,7 @@ func Extract(l *querylog.Log, cfg Config) *Set {
 
 	p := func(g string) float64 { return float64(ngramFreq[g]) / total }
 
-	s := &Set{units: make(map[string]*Unit), byFirst: make(map[string][]*Unit), maxLen: cfg.MaxLen}
+	s := &Set{units: make(map[string]*Unit), maxLen: cfg.MaxLen}
 
 	// Iteration 1: all single terms are units.
 	var maxTermFreq int64
@@ -169,22 +180,45 @@ func Extract(l *querylog.Log, cfg Config) *Set {
 		}
 	}
 
-	// Scanner index: units grouped by first term, longest first so the
-	// scanner is greedy-longest.
-	for _, u := range s.units {
-		s.byFirst[u.Terms[0]] = append(s.byFirst[u.Terms[0]], u)
-	}
-	for first := range s.byFirst {
-		us := s.byFirst[first]
-		sort.Slice(us, func(i, j int) bool {
-			if len(us[i].Terms) != len(us[j].Terms) {
-				return len(us[i].Terms) > len(us[j].Terms)
-			}
-			return us[i].Text < us[j].Text
-		})
-	}
+	s.buildIndex()
 	return s
 }
+
+// buildIndex compiles the unit inventory into the trie matcher and fills
+// the precomputed per-unit flags. Pattern ids are assigned in sorted text
+// order for determinism across map iteration orders.
+func (s *Set) buildIndex() {
+	texts := make([]string, 0, len(s.units))
+	for text := range s.units {
+		texts = append(texts, text)
+	}
+	sort.Strings(texts)
+	b := match.NewBuilder(nil)
+	s.pats = make([]*Unit, 0, len(texts))
+	for _, text := range texts {
+		u := s.units[text]
+		u.StopOnly = allStop(u.Terms)
+		if id := b.Add(u.Terms); id != len(s.pats) {
+			panic("units: non-dense pattern id")
+		}
+		s.pats = append(s.pats, u)
+	}
+	s.matcher = b.Build()
+	s.vocab = b.Vocab()
+}
+
+func allStop(terms []string) bool {
+	for _, t := range terms {
+		if !textproc.IsStopword(t) {
+			return false
+		}
+	}
+	return len(terms) > 0
+}
+
+// Vocab exposes the interned unit vocabulary so the detection pipeline can
+// map a document's tokens to ids once per document.
+func (s *Set) Vocab() *match.Vocab { return s.vocab }
 
 // Len returns the number of units in the set.
 func (s *Set) Len() int { return len(s.units) }
@@ -233,27 +267,27 @@ type Match struct {
 
 // FindInTokens scans normalized tokens for unit occurrences, greedy-longest
 // at each position (a longer unit suppresses its prefixes at that position).
+// Compatibility wrapper around the id path: it interns the tokens per call,
+// so hot callers should intern once with Vocab().AppendIDs and use
+// FindInIDs instead.
 func (s *Set) FindInTokens(tokens []string) []Match {
-	var out []Match
-	for i := 0; i < len(tokens); i++ {
-		for _, u := range s.byFirst[tokens[i]] {
-			if i+len(u.Terms) > len(tokens) {
-				continue
-			}
-			ok := true
-			for j, term := range u.Terms {
-				if tokens[i+j] != term {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				out = append(out, Match{Unit: u, Start: i, End: i + len(u.Terms)})
-				break // greedy-longest: byFirst is sorted longest first
-			}
+	if len(tokens) == 0 {
+		return nil
+	}
+	ids := s.vocab.AppendIDs(make([]uint32, 0, len(tokens)), tokens)
+	return s.FindInIDs(ids, nil)
+}
+
+// FindInIDs scans interned token ids (from Vocab().AppendIDs) and appends
+// the matches to dst, returning it. With a pre-sized dst the scan performs
+// zero allocations.
+func (s *Set) FindInIDs(ids []uint32, dst []Match) []Match {
+	for i := 0; i < len(ids); i++ {
+		if p, end, ok := s.matcher.LongestAt(ids, i); ok {
+			dst = append(dst, Match{Unit: s.pats[p], Start: i, End: end})
 		}
 	}
-	return out
+	return dst
 }
 
 // SubconceptCount returns the number of multi-term sub-phrases of phrase

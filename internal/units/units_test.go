@@ -251,3 +251,24 @@ func TestFourTermUnits(t *testing.T) {
 		t.Fatal("4-term unit appeared with MaxLen 3")
 	}
 }
+
+// TestFindInIDsZeroAlloc guards the DESIGN.md §10 contract for the unit
+// scanner: interning plus the trie walk allocate nothing per document.
+func TestFindInIDsZeroAlloc(t *testing.T) {
+	s := Extract(querylog.FromCounts(addFiller(map[string]int{
+		"global warming": 500, "global": 200, "warming": 50,
+	})), handConfig)
+	tokens := []string{"the", "global", "warming", "debate", "unknownword"}
+	ids := make([]uint32, 0, len(tokens))
+	dst := make([]Match, 0, 4)
+	allocs := testing.AllocsPerRun(100, func() {
+		ids = s.Vocab().AppendIDs(ids[:0], tokens)
+		dst = s.FindInIDs(ids, dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("unit id match path allocated %.1f objects per run", allocs)
+	}
+	if len(dst) == 0 {
+		t.Fatal("expected a unit match")
+	}
+}
