@@ -35,9 +35,15 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./... > bench.out
 	$(GO) test -run=NONE -bench='^BenchmarkAnnotate$$' -benchtime=50x . >> bench.out
 	$(GO) test -run=NONE -bench='^BenchmarkDetect$$' -benchtime=100x ./internal/detect >> bench.out
+	$(GO) test -run=NONE -bench='^(BenchmarkResultCount|BenchmarkPhraseEval|BenchmarkSearchTopK|BenchmarkIndexSize)$$' -benchtime=2000x ./internal/searchsim >> bench.out
+	$(GO) test -run=NONE -bench='^BenchmarkBuildFeatures$$' -benchtime=20x . >> bench.out
 	$(GO) run ./cmd/benchjson -o BENCH.json -baseline BENCH.baseline.json \
 		-guard 'BenchmarkAnnotate:allocs/op:1.20' \
-		-guard 'BenchmarkDetect:allocs/op:1.20' < bench.out
+		-guard 'BenchmarkDetect:allocs/op:1.20' \
+		-guard 'BenchmarkBuildFeatures:allocs/op:1.20' \
+		-guard 'BenchmarkPhraseEval:allocs/op:1.50' \
+		-guard 'BenchmarkSearchTopK:allocs/op:1.20' \
+		-guard 'BenchmarkIndexSize:frozen-bytes:1.05' < bench.out
 
 # Deterministic fault injection under -race with a pinned seed: the chaos
 # tests derive their expected recovery counters from CHAOS_SEED, so any

@@ -393,3 +393,20 @@ func BenchmarkMetricNDCG(b *testing.B) {
 		eval.NDCG(pred, truth, 3, judge)
 	}
 }
+
+// BenchmarkBuildFeatures measures the offline batch feature extraction over
+// the full concept inventory — the contextrank.Build stage that hammers
+// ResultCount and the query-log phrase scan. Guarded in CI against
+// BENCH.baseline.json (DESIGN.md §10).
+func BenchmarkBuildFeatures(b *testing.B) {
+	s := benchSystem(b)
+	names := make([]string, len(s.World.Concepts))
+	for i := range s.World.Concepts {
+		names[i] = s.World.Concepts[i].Name
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Extractor.BatchFields(names, 1)
+	}
+}

@@ -120,6 +120,7 @@ func main() {
 	srv.Timeout = *requestTimeout
 	srv.Gate = resilience.NewGate(*maxInflight, *queueLen, *queueWait)
 	srv.Cache = serve.NewCache(*cacheSize)
+	srv.IndexStats = inner.Engine.Stats
 
 	if *pprofAddr != "" {
 		stop, err := startPprof(*pprofAddr, os.Stderr)

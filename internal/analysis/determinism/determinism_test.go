@@ -9,9 +9,12 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	// internal/clicksim is in scope and holds both flagging and clean
-	// cases; notpipeline commits every violation out of scope.
+	// cases; internal/searchsim covers the frozen-index build path
+	// (freeze must stay a pure function of the corpus); notpipeline
+	// commits every violation out of scope.
 	atest.Run(t, "../testdata", determinism.Analyzer,
 		"internal/clicksim",
+		"internal/searchsim",
 		"notpipeline",
 	)
 }

@@ -1,0 +1,92 @@
+// Fixture for the determinism analyzer, modeled on the frozen-index
+// build path: internal/searchsim is inside the deterministic-pipeline
+// scope because Freeze() must produce byte-identical compressed posting
+// lists for a seeded corpus (the CI guard pins the frozen size to the
+// byte). Wall-clock stamps in index stats, draws from the global
+// math/rand source while laying out blocks, and emitting per-term
+// summaries in map order would all silently break that contract.
+package searchsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type indexStats struct {
+	frozenBytes int64
+	builtAt     int64
+}
+
+// --- flagging cases ---
+
+func stampFreeze(s *indexStats) {
+	s.builtAt = time.Now().Unix() // want `time.Now reads the wall clock`
+}
+
+func freezeDuration(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func jitterSkipInterval() int {
+	return 16 + rand.Intn(16) // want `global math/rand source \(rand.Intn\)`
+}
+
+func shuffleTermOrder(terms []uint32) {
+	rand.Shuffle(len(terms), func(i, j int) { terms[i], terms[j] = terms[j], terms[i] }) // want `global math/rand source \(rand.Shuffle\)`
+}
+
+func unsortedTermReport(docFreq map[string]int) []string {
+	var report []string
+	for term := range docFreq {
+		report = append(report, term) // want `report is appended to while ranging over a map and returned without a sort`
+	}
+	return report
+}
+
+// --- non-flagging cases ---
+
+// Corpus generation draws from a caller-seeded source; constructing it
+// is the approved shape.
+func corpusRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func sampleDocLength(rng *rand.Rand) int {
+	return 40 + rng.Intn(160)
+}
+
+// Freezing iterates the dense postings table by term ID, not a map, so
+// the block layout (and therefore the compressed bytes) is a pure
+// function of the corpus.
+func freezeOrder(raw [][]int32) []int64 {
+	sizes := make([]int64, 0, len(raw))
+	for _, pl := range raw {
+		sizes = append(sizes, int64(len(pl)))
+	}
+	return sizes
+}
+
+// Sorted emission: map order never reaches the stats output.
+func sortedTermReport(docFreq map[string]int) []string {
+	var report []string
+	for term := range docFreq {
+		report = append(report, term)
+	}
+	sort.Strings(report)
+	return report
+}
+
+// Not returned: a map-ordered scratch walk that only feeds an aggregate
+// is invisible to the caller.
+func totalPostings(docFreq map[string]int) int {
+	var terms []string
+	for term := range docFreq {
+		terms = append(terms, term)
+	}
+	total := 0
+	for _, t := range terms {
+		total += docFreq[t]
+	}
+	return total
+}

@@ -59,14 +59,14 @@ func (e *Extractor) Extended(concept string) ExtendedFields {
 
 	if e.log != nil {
 		total := 0
-		seen := make(map[int]bool)
+		seen := make(map[int32]bool)
 		for t := range termSet {
 			for _, qi := range e.log.QueriesContaining(t) {
 				if seen[qi] {
 					continue
 				}
 				seen[qi] = true
-				q := e.log.Query(qi)
+				q := e.log.Query(int(qi))
 				if q.Text == concept {
 					continue
 				}

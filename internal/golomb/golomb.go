@@ -8,6 +8,7 @@ package golomb
 import (
 	"errors"
 	"math"
+	"math/bits"
 )
 
 // BitWriter accumulates bits most-significant-first.
@@ -63,6 +64,13 @@ type BitReader struct {
 // NewBitReader wraps data.
 func NewBitReader(data []byte) *BitReader { return &BitReader{buf: data} }
 
+// NewBitReaderAt wraps data positioned at an arbitrary bit offset. Offsets
+// come from BitWriter.BitLen() snapshots taken while encoding — the skip
+// pointers of the compressed positional index.
+func NewBitReaderAt(data []byte, bitOffset int) *BitReader {
+	return &BitReader{buf: data, pos: bitOffset}
+}
+
 // ErrOutOfBits is returned when a read runs past the end of the data.
 var ErrOutOfBits = errors.New("golomb: out of bits")
 
@@ -77,31 +85,49 @@ func (r *BitReader) ReadBit() (uint32, error) {
 	return uint32(bit), nil
 }
 
-// ReadBits reads n bits as an unsigned integer.
+// ReadBits reads n bits as an unsigned integer, consuming up to a byte per
+// step rather than a bit at a time (this is the decode hot path of the
+// compressed positional index).
 func (r *BitReader) ReadBits(n uint) (uint64, error) {
+	if r.pos+int(n) > len(r.buf)*8 {
+		return 0, ErrOutOfBits
+	}
 	var v uint64
-	for i := uint(0); i < n; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+	for n > 0 {
+		off := uint(r.pos & 7)
+		avail := 8 - off
+		take := avail
+		if take > n {
+			take = n
 		}
-		v = v<<1 | uint64(b)
+		chunk := uint64(r.buf[r.pos>>3]>>(avail-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.pos += int(take)
+		n -= take
 	}
 	return v, nil
 }
 
-// ReadUnary reads a unary-coded value.
+// ReadUnary reads a unary-coded value, counting run bytes with
+// leading-zeros rather than bit by bit.
 func (r *BitReader) ReadUnary() (uint32, error) {
 	var v uint32
 	for {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+		byteIdx := r.pos >> 3
+		if byteIdx >= len(r.buf) {
+			return 0, ErrOutOfBits
 		}
-		if b == 0 {
-			return v, nil
+		// Invert and left-align the unread bits: leading zeros of the
+		// result count the leading ones of the run. Shift padding is zero,
+		// so a nonzero value means the terminating 0-bit is in this byte.
+		b := ^r.buf[byteIdx] << (r.pos & 7)
+		if b != 0 {
+			n := uint32(bits.LeadingZeros8(b))
+			r.pos += int(n) + 1 // run bits plus the terminator
+			return v + n, nil
 		}
-		v++
+		v += uint32(8 - r.pos&7)
+		r.pos = (byteIdx + 1) * 8
 		if v > 1<<30 {
 			return 0, errors.New("golomb: unary run too long (corrupt data)")
 		}
@@ -127,7 +153,7 @@ func encodeValue(w *BitWriter, v, m uint32) {
 	if m == 1 {
 		return
 	}
-	b := uint(bits(m))
+	b := uint(bitlen(m))
 	cutoff := uint32(1<<b) - m
 	if rem < cutoff {
 		w.WriteBits(uint64(rem), b-1)
@@ -145,7 +171,7 @@ func decodeValue(r *BitReader, m uint32) (uint32, error) {
 	if m == 1 {
 		return q, nil
 	}
-	b := uint(bits(m))
+	b := uint(bitlen(m))
 	cutoff := uint32(1<<b) - m
 	rem, err := r.ReadBits(b - 1)
 	if err != nil {
@@ -162,8 +188,8 @@ func decodeValue(r *BitReader, m uint32) (uint32, error) {
 	return q*m + uint32(rem), nil
 }
 
-// bits returns ⌈log2(m)⌉ for m ≥ 2.
-func bits(m uint32) int {
+// bitlen returns ⌈log2(m)⌉ for m ≥ 2.
+func bitlen(m uint32) int {
 	n := 0
 	for v := m - 1; v > 0; v >>= 1 {
 		n++
@@ -172,6 +198,68 @@ func bits(m uint32) int {
 		n = 1
 	}
 	return n
+}
+
+// Decoder streams Golomb-coded values one at a time without allocating a
+// slice per read — the query-time decode path of the compressed positional
+// index. The zero value is not usable; construct with NewDecoderAt. Decoder
+// is a value type so callers can embed it in pooled scratch state.
+type Decoder struct {
+	r      BitReader
+	m      uint32
+	b      uint   // ⌈log2(m)⌉, cached so Next skips the per-value loop
+	cutoff uint32 // 1<<b − m, the truncated-binary threshold
+}
+
+// NewDecoderAt returns a Decoder over data with parameter m, starting at
+// bitOffset (0 reads from the beginning).
+func NewDecoderAt(data []byte, m uint32, bitOffset int) Decoder {
+	if m < 1 {
+		m = 1
+	}
+	d := Decoder{r: BitReader{buf: data, pos: bitOffset}, m: m}
+	if m > 1 {
+		d.b = uint(bitlen(m))
+		d.cutoff = uint32(1<<d.b) - m
+	}
+	return d
+}
+
+// Next decodes and returns the next value.
+func (d *Decoder) Next() (uint32, error) {
+	q, err := d.r.ReadUnary()
+	if err != nil {
+		return 0, err
+	}
+	if d.m == 1 {
+		return q, nil
+	}
+	rem, err := d.r.ReadBits(d.b - 1)
+	if err != nil {
+		return 0, err
+	}
+	if uint32(rem) >= d.cutoff {
+		extra, err := d.r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		rem = (rem<<1 | uint64(extra)) - uint64(d.cutoff)
+	}
+	return q*d.m + uint32(rem), nil
+}
+
+// BitPos returns the current bit position (useful when interleaving skip
+// pointers with sequential decoding).
+func (d *Decoder) BitPos() int { return d.r.pos }
+
+// EncodeValueTo writes a single value with parameter m to w — the streaming
+// counterpart of Encode, for callers that interleave several logical streams
+// while recording skip offsets via BitLen.
+func EncodeValueTo(w *BitWriter, v, m uint32) {
+	if m < 1 {
+		m = 1
+	}
+	encodeValue(w, v, m)
 }
 
 // Encode compresses values with parameter m.

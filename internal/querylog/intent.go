@@ -1,6 +1,9 @@
 package querylog
 
-import "contextrank/internal/world"
+import (
+	"contextrank/internal/match"
+	"contextrank/internal/world"
+)
 
 // The paper's §IV-A notes: "we essentially focus on the frequencies; we do
 // not perform any categorization to understand their intentions such as
@@ -97,9 +100,16 @@ func (c *Classifier) ConceptIntents(l *Log, concept string) IntentBreakdown {
 	if len(terms) == 0 {
 		return b
 	}
-	for _, idx := range l.QueriesContaining(terms[0]) {
-		q := l.Query(idx)
-		if !containsPhrase(q.Terms, terms) {
+	// Intern once; terms outside the log vocabulary occur in no query.
+	ids := make([]uint32, len(terms))
+	for i, t := range terms {
+		if ids[i] = l.vocab.ID(t); ids[i] == match.NoID {
+			return b
+		}
+	}
+	for _, idx := range l.byTerm[ids[0]] {
+		q := l.Query(int(idx))
+		if !containsPhraseIDs(l.termIDs[idx], ids) {
 			continue
 		}
 		b.Total += int64(q.Freq)

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"contextrank/internal/match"
 	"contextrank/internal/world"
 )
 
@@ -26,14 +27,20 @@ type Query struct {
 	Freq int
 }
 
-// Log is a weekly query log with frequency-weighted lookups.
+// Log is a weekly query log with frequency-weighted lookups. Terms are
+// interned to dense uint32 ids at construction (the same idiom as the
+// searchsim index): per-term postings and frequency tables are flat slices
+// indexed by term id, and phrase containment compares ids, not strings. A
+// Log is immutable after FromCounts.
 type Log struct {
 	Queries []Query
 
 	totalFreq int64
-	byText    map[string]int   // query text -> index
-	byTerm    map[string][]int // term -> indexes of queries containing it
-	termFreq  map[string]int64 // term -> sum of freqs of queries containing it
+	byText    map[string]int // query text -> index
+	vocab     *match.Vocab   // term string <-> dense id
+	termIDs   [][]uint32     // query index -> interned Terms
+	byTerm    [][]int32      // term id -> indexes of queries containing it
+	termFreq  []int64        // term id -> sum of freqs of queries containing it
 }
 
 // Config parameterizes log generation.
@@ -146,15 +153,14 @@ func pickRefiner(w *world.World, c *world.Concept, rng *rand.Rand) string {
 // the units extractor can build small hand-crafted logs).
 func FromCounts(counts map[string]int) *Log {
 	l := &Log{
-		byText:   make(map[string]int, len(counts)),
-		byTerm:   make(map[string][]int),
-		termFreq: make(map[string]int64),
+		byText: make(map[string]int, len(counts)),
+		vocab:  match.NewVocab(),
 	}
 	texts := make([]string, 0, len(counts))
 	for t := range counts {
 		texts = append(texts, t)
 	}
-	sort.Strings(texts) // determinism
+	sort.Strings(texts) // determinism: ids and postings follow text order
 	for _, text := range texts {
 		f := counts[text]
 		if f <= 0 {
@@ -165,15 +171,23 @@ func FromCounts(counts map[string]int) *Log {
 		l.Queries = append(l.Queries, q)
 		l.byText[text] = idx
 		l.totalFreq += int64(f)
-		seen := make(map[string]bool, len(q.Terms))
-		for _, term := range q.Terms {
-			if seen[term] {
+		ids := make([]uint32, len(q.Terms))
+		for i, term := range q.Terms {
+			id := l.vocab.Intern(term)
+			ids[i] = id
+			if int(id) >= len(l.byTerm) {
+				l.byTerm = append(l.byTerm, nil)
+				l.termFreq = append(l.termFreq, 0)
+			}
+			// Dedup within the query: a term contributes one posting and one
+			// frequency increment no matter how often it repeats.
+			if n := len(l.byTerm[id]); n > 0 && l.byTerm[id][n-1] == int32(idx) {
 				continue
 			}
-			seen[term] = true
-			l.byTerm[term] = append(l.byTerm[term], idx)
-			l.termFreq[term] += int64(f)
+			l.byTerm[id] = append(l.byTerm[id], int32(idx))
+			l.termFreq[id] += int64(f)
 		}
+		l.termIDs = append(l.termIDs, ids)
 	}
 	return l
 }
@@ -202,19 +216,30 @@ func (l *Log) FreqPhraseContained(phrase string) int {
 	if len(terms) == 0 {
 		return 0
 	}
-	candidates := l.byTerm[terms[0]]
+	// Intern the phrase; a term outside the log vocabulary cannot occur in
+	// any query, so the containment sum is zero. Stack buffer keeps the
+	// common short phrase allocation-free.
+	var buf [8]uint32
+	ids := buf[:0]
+	for _, t := range terms {
+		id := l.vocab.ID(t)
+		if id == match.NoID {
+			return 0
+		}
+		ids = append(ids, id)
+	}
 	total := 0
-	for _, idx := range candidates {
-		if containsPhrase(l.Queries[idx].Terms, terms) {
+	for _, idx := range l.byTerm[ids[0]] {
+		if containsPhraseIDs(l.termIDs[idx], ids) {
 			total += l.Queries[idx].Freq
 		}
 	}
 	return total
 }
 
-// containsPhrase reports whether hay contains needle as a contiguous
-// subsequence.
-func containsPhrase(hay, needle []string) bool {
+// containsPhraseIDs reports whether hay contains needle as a contiguous
+// subsequence of term ids.
+func containsPhraseIDs(hay, needle []uint32) bool {
 	if len(needle) > len(hay) {
 		return false
 	}
@@ -235,12 +260,24 @@ func containsPhrase(hay, needle []string) bool {
 
 // TermFreq returns the frequency-weighted number of query submissions
 // containing term.
-func (l *Log) TermFreq(term string) int64 { return l.termFreq[term] }
+func (l *Log) TermFreq(term string) int64 {
+	id := l.vocab.ID(term)
+	if id == match.NoID {
+		return 0
+	}
+	return l.termFreq[id]
+}
 
-// QueriesContaining returns the queries whose term set includes term,
-// in deterministic order. The returned slice aliases internal storage and
-// must not be modified.
-func (l *Log) QueriesContaining(term string) []int { return l.byTerm[term] }
+// QueriesContaining returns the indexes of queries whose term set includes
+// term, in deterministic (query-index) order. The returned slice aliases
+// internal storage and must not be modified.
+func (l *Log) QueriesContaining(term string) []int32 {
+	id := l.vocab.ID(term)
+	if id == match.NoID {
+		return nil
+	}
+	return l.byTerm[id]
+}
 
 // Query returns the i'th query.
 func (l *Log) Query(i int) Query { return l.Queries[i] }

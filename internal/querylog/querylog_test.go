@@ -155,7 +155,7 @@ func TestQueriesContainingSorted(t *testing.T) {
 	for _, q := range l.Queries[:min(50, len(l.Queries))] {
 		for _, term := range q.Terms {
 			idxs := l.QueriesContaining(term)
-			if !sort.IntsAreSorted(idxs) {
+			if !sort.SliceIsSorted(idxs, func(i, j int) bool { return idxs[i] < idxs[j] }) {
 				t.Fatalf("QueriesContaining(%q) not sorted", term)
 			}
 			checked++

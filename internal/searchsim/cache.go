@@ -1,0 +1,76 @@
+package searchsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// countCacheShards is the number of independently-locked shards in the
+// ResultCount memo cache. Same sharding idiom as the serve annotation cache:
+// FNV-64a over the key picks the shard, so contention is spread without any
+// cross-shard coordination.
+const countCacheShards = 16
+
+// countCache memoizes ResultCount by phrase. It is only attached to frozen
+// engines: freezing makes the index immutable, which is what makes the memo
+// sound. Values are plain ints computed deterministically from the index, so
+// concurrent fills of the same key are idempotent.
+type countCache struct {
+	shards [countCacheShards]countShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type countShard struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func newCountCache() *countCache {
+	c := &countCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]int)
+	}
+	return c
+}
+
+// fnv64a is the 64-bit FNV-1a hash of s.
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// get looks up phrase, recording a hit or miss.
+func (c *countCache) get(phrase string) (int, bool) {
+	s := &c.shards[fnv64a(phrase)%countCacheShards]
+	s.mu.RLock()
+	v, ok := s.m[phrase]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// put stores phrase→n.
+func (c *countCache) put(phrase string, n int) {
+	s := &c.shards[fnv64a(phrase)%countCacheShards]
+	s.mu.Lock()
+	s.m[phrase] = n
+	s.mu.Unlock()
+}
+
+// stats returns the cumulative hit/miss counters.
+func (c *countCache) stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

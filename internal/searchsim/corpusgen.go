@@ -94,6 +94,10 @@ func BuildCorpus(w *world.World, cfg CorpusConfig) *Engine {
 			e.addTokenized(d.text, d.tokens, d.topic)
 		}
 	}
+	// Generated corpora are never mutated after construction: freeze into the
+	// compressed immutable index so every downstream miner queries Golomb
+	// posting lists and the memoized ResultCount.
+	e.Freeze()
 	return e
 }
 

@@ -1,0 +1,357 @@
+package searchsim
+
+// Differential suite pinning the interned+frozen engine to the seed
+// engine's observable behavior byte for byte: result counts (exact and
+// any-order), ranked top-k ordering including score ties, and snippet text.
+// refEngine below is a faithful transcription of the pre-interning
+// implementation (map[string][]posting, string-rescanning matchAt) kept as
+// the executable specification.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"contextrank/internal/corpus"
+	"contextrank/internal/textproc"
+)
+
+type refPosting struct {
+	doc       int
+	positions []int32
+}
+
+// refEngine is the seed implementation of the search substrate.
+type refEngine struct {
+	docs     [][]string // tokens per doc
+	postings map[string][]refPosting
+	dict     *corpus.Dictionary
+}
+
+func newRefEngine() *refEngine {
+	return &refEngine{postings: make(map[string][]refPosting), dict: corpus.NewDictionary()}
+}
+
+func (e *refEngine) add(text string) {
+	tokens := textproc.Words(text)
+	id := len(e.docs)
+	e.docs = append(e.docs, tokens)
+	for pos, term := range tokens {
+		ps := e.postings[term]
+		if len(ps) > 0 && ps[len(ps)-1].doc == id {
+			ps[len(ps)-1].positions = append(ps[len(ps)-1].positions, int32(pos))
+		} else {
+			ps = append(ps, refPosting{doc: id, positions: []int32{int32(pos)}})
+		}
+		e.postings[term] = ps
+	}
+	e.dict.AddDocument(tokens)
+}
+
+func (e *refEngine) matchAt(doc int, terms []string, pos int32) bool {
+	tokens := e.docs[doc]
+	if int(pos)+len(terms) > len(tokens) {
+		return false
+	}
+	for j, t := range terms {
+		if tokens[int(pos)+j] != t {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *refEngine) phraseSearch(terms []string) []phraseHit {
+	if len(terms) == 0 {
+		return nil
+	}
+	var hits []phraseHit
+	for _, p := range e.postings[terms[0]] {
+		count := 0
+		first := int32(-1)
+		for _, pos := range p.positions {
+			if e.matchAt(p.doc, terms, pos) {
+				count++
+				if first < 0 {
+					first = pos
+				}
+			}
+		}
+		if count > 0 {
+			hits = append(hits, phraseHit{doc: p.doc, count: count, first: first})
+		}
+	}
+	return hits
+}
+
+func (e *refEngine) resultCount(phrase string) int {
+	return len(e.phraseSearch(textproc.Words(phrase)))
+}
+
+func (e *refEngine) resultCountAnyOrder(phrase string) int {
+	terms := textproc.Words(phrase)
+	if len(terms) == 0 {
+		return 0
+	}
+	counts := make(map[int]int)
+	seen := make(map[string]bool)
+	distinct := 0
+	for _, t := range terms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		distinct++
+		for _, p := range e.postings[t] {
+			counts[p.doc]++
+		}
+	}
+	n := 0
+	for _, c := range counts {
+		if c == distinct {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *refEngine) search(phrase string, k int) []Result {
+	terms := textproc.Words(phrase)
+	hits := e.phraseSearch(terms)
+	if len(hits) == 0 {
+		return nil
+	}
+	idf := 0.0
+	for _, t := range terms {
+		idf += e.dict.IDF(t)
+	}
+	results := make([]Result, 0, len(hits))
+	for _, h := range hits {
+		docLen := len(e.docs[h.doc])
+		if docLen == 0 {
+			continue
+		}
+		score := float64(h.count) * idf / (1 + float64(docLen)/200)
+		results = append(results, Result{DocID: h.doc, Score: score})
+	}
+	sortResultsRef(results)
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+func (e *refEngine) snippet(docID int, phrase string) string {
+	terms := textproc.Words(phrase)
+	if docID < 0 || docID >= len(e.docs) || len(e.docs[docID]) == 0 {
+		return ""
+	}
+	tokens := e.docs[docID]
+	at := -1
+	for i := 0; i+len(terms) <= len(tokens) && at < 0; i++ {
+		match := len(terms) > 0
+		for j := range terms {
+			if tokens[i+j] != terms[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			at = i
+		}
+	}
+	if at < 0 {
+		at = 0
+	}
+	lo := at - SnippetWidth
+	if lo < 0 {
+		lo = 0
+	}
+	hi := at + len(terms) + SnippetWidth
+	if hi > len(tokens) {
+		hi = len(tokens)
+	}
+	return strings.Join(tokens[lo:hi], " ")
+}
+
+func (e *refEngine) snippets(phrase string, k int) []string {
+	results := e.search(phrase, k)
+	out := make([]string, 0, len(results))
+	for _, r := range results {
+		out = append(out, e.snippet(r.DocID, phrase))
+	}
+	return out
+}
+
+func sortResultsRef(results []Result) {
+	// Same comparator as the engine: score desc, doc asc (total order —
+	// doc ids are unique, so the sort is deterministic despite ties).
+	for i := 1; i < len(results); i++ {
+		for j := i; j > 0; j-- {
+			a, b := results[j-1], results[j]
+			if a.Score > b.Score || (a.Score == b.Score && a.DocID < b.DocID) {
+				break
+			}
+			results[j-1], results[j] = b, a
+		}
+	}
+}
+
+// differentialPhrases assembles the query workload: every concept name plus
+// adversarial variants — reversed term order (forces positional mismatches),
+// sub- and super-phrases, single terms, duplicated terms, vocabulary misses,
+// and the empty phrase.
+func differentialPhrases(names []string) []string {
+	phrases := make([]string, 0, 6*len(names)+4)
+	for _, n := range names {
+		phrases = append(phrases, n)
+		terms := textproc.Words(n)
+		if len(terms) >= 2 {
+			// Reversed and partial phrases.
+			rev := make([]string, len(terms))
+			for i, t := range terms {
+				rev[len(terms)-1-i] = t
+			}
+			phrases = append(phrases, strings.Join(rev, " "))
+			phrases = append(phrases, strings.Join(terms[:len(terms)-1], " "))
+			phrases = append(phrases, terms[len(terms)-1])
+		}
+		if len(terms) >= 1 {
+			phrases = append(phrases, terms[0]+" "+terms[0]) // duplicate term
+			phrases = append(phrases, n+" qqqunseen")        // vocabulary miss
+		}
+	}
+	return append(phrases, "", "qqqunseen", "qqqunseen zzzunseen", "the")
+}
+
+// buildDifferentialEngines returns the seed-reference engine, an unfrozen
+// interned engine, and a frozen interned engine over the same corpus.
+func buildDifferentialEngines(t testing.TB) (*refEngine, *Engine, *Engine, []string) {
+	t.Helper()
+	w, built := testWorldCorpus(t) // frozen by BuildCorpus
+	ref := newRefEngine()
+	unfrozen := NewEngine()
+	for i := range built.Docs {
+		ref.add(built.Docs[i].Text)
+		unfrozen.Add(built.Docs[i].Text, built.Docs[i].Topic)
+	}
+	names := make([]string, len(w.Concepts))
+	for i := range w.Concepts {
+		names[i] = w.Concepts[i].Name
+	}
+	return ref, unfrozen, built, names
+}
+
+func TestDifferentialResultCounts(t *testing.T) {
+	ref, unfrozen, frozen, names := buildDifferentialEngines(t)
+	if !frozen.Frozen() || unfrozen.Frozen() {
+		t.Fatal("engine freeze states wrong")
+	}
+	for _, phrase := range differentialPhrases(names) {
+		want := ref.resultCount(phrase)
+		if got := unfrozen.ResultCount(phrase); got != want {
+			t.Fatalf("unfrozen ResultCount(%q) = %d, want %d", phrase, got, want)
+		}
+		if got := frozen.ResultCount(phrase); got != want {
+			t.Fatalf("frozen ResultCount(%q) = %d, want %d", phrase, got, want)
+		}
+		// Memoized second read must agree.
+		if got := frozen.ResultCount(phrase); got != want {
+			t.Fatalf("frozen memoized ResultCount(%q) = %d, want %d", phrase, got, want)
+		}
+		wantAny := ref.resultCountAnyOrder(phrase)
+		if got := unfrozen.ResultCountAnyOrder(phrase); got != wantAny {
+			t.Fatalf("unfrozen ResultCountAnyOrder(%q) = %d, want %d", phrase, got, wantAny)
+		}
+		if got := frozen.ResultCountAnyOrder(phrase); got != wantAny {
+			t.Fatalf("frozen ResultCountAnyOrder(%q) = %d, want %d", phrase, got, wantAny)
+		}
+	}
+	if hits, misses := frozen.cache.stats(); hits == 0 || misses == 0 {
+		t.Fatalf("memo cache not exercised: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestDifferentialSearchOrdering(t *testing.T) {
+	ref, unfrozen, frozen, names := buildDifferentialEngines(t)
+	for _, phrase := range differentialPhrases(names) {
+		for _, k := range []int{3, 100} {
+			want := ref.search(phrase, k)
+			if got := unfrozen.Search(phrase, k); !reflect.DeepEqual(got, want) {
+				t.Fatalf("unfrozen Search(%q, %d) diverged:\n got %v\nwant %v", phrase, k, got, want)
+			}
+			if got := frozen.Search(phrase, k); !reflect.DeepEqual(got, want) {
+				t.Fatalf("frozen Search(%q, %d) diverged:\n got %v\nwant %v", phrase, k, got, want)
+			}
+		}
+	}
+}
+
+func TestDifferentialSnippets(t *testing.T) {
+	ref, unfrozen, frozen, names := buildDifferentialEngines(t)
+	for _, phrase := range differentialPhrases(names) {
+		want := ref.snippets(phrase, 100)
+		if got := unfrozen.Snippets(phrase, 100); !reflect.DeepEqual(got, want) {
+			t.Fatalf("unfrozen Snippets(%q) diverged", phrase)
+		}
+		if got := frozen.Snippets(phrase, 100); !reflect.DeepEqual(got, want) {
+			t.Fatalf("frozen Snippets(%q) diverged", phrase)
+		}
+	}
+	// Per-doc Snippet over arbitrary doc ids, including docs that do not
+	// contain the phrase (head-window contract).
+	for d := 0; d < len(frozen.Docs); d += 7 {
+		for _, phrase := range names[:10] {
+			want := ref.snippet(d, phrase)
+			if got := frozen.Snippet(d, phrase); got != want {
+				t.Fatalf("frozen Snippet(%d, %q) = %q, want %q", d, phrase, got, want)
+			}
+		}
+	}
+}
+
+func TestDifferentialSearchAnyTerm(t *testing.T) {
+	_, unfrozen, frozen, names := buildDifferentialEngines(t)
+	// SearchAnyTerm's seed implementation is retained in the engine modulo
+	// the postings representation; pin frozen to unfrozen (raw slices are
+	// the seed layout under interning).
+	for _, phrase := range names {
+		want := unfrozen.SearchAnyTerm(phrase, PrismaDocDepth)
+		if got := frozen.SearchAnyTerm(phrase, PrismaDocDepth); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SearchAnyTerm(%q) diverged between raw and frozen", phrase)
+		}
+	}
+}
+
+func TestFrozenStatsAndCompression(t *testing.T) {
+	_, _, frozen, _ := buildDifferentialEngines(t)
+	st := frozen.Stats()
+	if !st.Frozen {
+		t.Fatal("stats say unfrozen")
+	}
+	if st.FrozenBytes <= 0 || st.RawBytes <= 0 {
+		t.Fatalf("size accounting missing: %+v", st)
+	}
+	if st.FrozenBytes >= st.RawBytes {
+		t.Fatalf("frozen index (%d B) must be smaller than raw postings (%d B)", st.FrozenBytes, st.RawBytes)
+	}
+	if st.Postings == 0 || st.Positions < st.Postings || st.Terms == 0 || st.Docs == 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	t.Logf("index: %d docs, %d terms, %d postings, %d positions, raw %d B -> frozen %d B (%.1f%%)",
+		st.Docs, st.Terms, st.Postings, st.Positions, st.RawBytes, st.FrozenBytes,
+		100*float64(st.FrozenBytes)/float64(st.RawBytes))
+}
+
+func TestAddAfterFreezePanics(t *testing.T) {
+	e := NewEngine()
+	e.Add("one two three", 0)
+	e.Freeze()
+	e.Freeze() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Freeze did not panic")
+		}
+	}()
+	e.Add("four five", 0)
+}

@@ -3,6 +3,13 @@
 // with result counts (the searchengine_phrase feature), result snippets (the
 // paper's best relevance-mining resource), Prisma-style pseudo-relevance
 // feedback, and related-query suggestions.
+//
+// The index interns every corpus term to a dense uint32 id (the
+// internal/match.Vocab idiom), evaluates phrase queries by positional
+// intersection — rarest term drives, the others gallop — and, once frozen,
+// serves queries from Golomb-compressed posting lists with skip blocks
+// (index.go). Results are bit-identical to the straightforward
+// string-scanning engine; the differential tests pin that.
 package searchsim
 
 import (
@@ -10,8 +17,12 @@ import (
 	"strings"
 
 	"contextrank/internal/corpus"
+	"contextrank/internal/match"
 	"contextrank/internal/textproc"
 )
+
+// noTermID marks a query term absent from the corpus vocabulary.
+const noTermID = match.NoID
 
 // Doc is one indexed document.
 type Doc struct {
@@ -19,30 +30,35 @@ type Doc struct {
 	ID int
 	// Text is the original text.
 	Text string
-	// Tokens are the normalized word tokens (punctuation removed).
-	Tokens []string
+	// Tokens are the normalized word tokens (punctuation removed), interned
+	// to vocabulary ids. Engine.Vocab().Token recovers the strings.
+	Tokens []uint32
 	// Topic is the generating topic (metadata for tests; -1 if unknown).
 	Topic int
 }
 
-type posting struct {
-	doc       int
-	positions []int32
-}
-
-// Engine is the simulated search engine.
+// Engine is the simulated search engine. It has two phases:
+//
+//   - Building: Add/addTokenized append to raw (uncompressed) posting lists.
+//   - Frozen: after Freeze, postings live only in Golomb-compressed form,
+//     the engine is immutable and safe for concurrent queries, and
+//     ResultCount is memoized. Add after Freeze panics.
 type Engine struct {
 	Docs []Doc
 
-	postings map[string][]posting
-	dict     *corpus.Dictionary
+	vocab  *match.Vocab
+	raw    []postingList // indexed by term id; nil once frozen
+	frozen []frozenList  // nil until Freeze
+	dict   *corpus.Dictionary
+	cache  *countCache // ResultCount memo; created by Freeze
+	stats  IndexStats  // size accounting captured by Freeze
 }
 
 // NewEngine creates an empty engine.
 func NewEngine() *Engine {
 	return &Engine{
-		postings: make(map[string][]posting),
-		dict:     corpus.NewDictionary(),
+		vocab: match.NewVocab(),
+		dict:  corpus.NewDictionary(),
 	}
 }
 
@@ -55,23 +71,76 @@ func (e *Engine) Add(text string, topic int) int {
 // (the parallel corpus builder tokenizes in its workers and merges here, in
 // input order, on one goroutine).
 func (e *Engine) addTokenized(text string, tokens []string, topic int) int {
-	id := len(e.Docs)
-	e.Docs = append(e.Docs, Doc{ID: id, Text: text, Tokens: tokens, Topic: topic})
-	for pos, term := range tokens {
-		ps := e.postings[term]
-		if len(ps) > 0 && ps[len(ps)-1].doc == id {
-			ps[len(ps)-1].positions = append(ps[len(ps)-1].positions, int32(pos))
-		} else {
-			ps = append(ps, posting{doc: id, positions: []int32{int32(pos)}})
-		}
-		e.postings[term] = ps
+	if e.frozen != nil {
+		panic("searchsim: Add after Freeze — the frozen index is immutable")
 	}
+	id := len(e.Docs)
+	ids := make([]uint32, len(tokens))
+	for pos, term := range tokens {
+		tid := e.vocab.Intern(term)
+		ids[pos] = tid
+		if int(tid) >= len(e.raw) {
+			e.raw = append(e.raw, postingList{})
+		}
+		e.raw[tid].add(int32(id), int32(pos))
+	}
+	e.Docs = append(e.Docs, Doc{ID: id, Text: text, Tokens: ids, Topic: topic})
 	e.dict.AddDocument(tokens)
 	return id
 }
 
+// Freeze compresses every posting list with the Golomb delta coder and drops
+// the raw lists, making the engine immutable. Queries keep working — served
+// from the compressed lists via skip-block partial decoding — and
+// ResultCount becomes memoized (memoization is sound precisely because the
+// index can no longer change). Freeze is idempotent.
+func (e *Engine) Freeze() {
+	if e.frozen != nil {
+		return
+	}
+	raw := e.raw
+	fr := make([]frozenList, len(raw))
+	st := IndexStats{Frozen: true}
+	for i := range raw {
+		st.Postings += len(raw[i].docs)
+		st.Positions += len(raw[i].positions)
+		st.RawBytes += raw[i].rawBytes()
+		fr[i] = freezeList(&raw[i])
+		st.FrozenBytes += fr[i].frozenBytes()
+	}
+	e.frozen = fr
+	e.raw = nil // release the raw postings; the compressed lists answer everything
+	e.stats = st
+	e.cache = newCountCache()
+}
+
+// Frozen reports whether Freeze has run.
+func (e *Engine) Frozen() bool { return e.frozen != nil }
+
+// numTerms returns the number of terms with posting lists.
+func (e *Engine) numTerms() int {
+	if e.frozen != nil {
+		return len(e.frozen)
+	}
+	return len(e.raw)
+}
+
+// docCount returns the document frequency of term id.
+func (e *Engine) docCount(id uint32) int {
+	if id == noTermID || int(id) >= e.numTerms() {
+		return 0
+	}
+	if e.frozen != nil {
+		return int(e.frozen[id].nDocs)
+	}
+	return len(e.raw[id].docs)
+}
+
 // NumDocs returns the number of indexed documents.
 func (e *Engine) NumDocs() int { return len(e.Docs) }
+
+// Vocab returns the corpus term vocabulary (term string ↔ dense id).
+func (e *Engine) Vocab() *match.Vocab { return e.vocab }
 
 // Dictionary returns the term-document-frequency dictionary over the indexed
 // corpus — the stand-in for "all the web documents that are indexed by
@@ -86,62 +155,74 @@ func (e *Engine) Doc(id int) *Doc {
 	return &e.Docs[id]
 }
 
-// phraseHit is one document matching a phrase query.
-type phraseHit struct {
-	doc   int
-	count int   // number of phrase occurrences
-	first int32 // position of first occurrence
+// IndexStats reports index size and cache accounting (surfaced in /statz).
+type IndexStats struct {
+	Docs      int `json:"docs"`
+	Terms     int `json:"terms"`
+	Postings  int `json:"postings"`  // (term, doc) pairs
+	Positions int `json:"positions"` // token occurrences
+
+	// RawBytes is the int32 payload of the uncompressed posting lists;
+	// FrozenBytes is the resident footprint of the Golomb streams plus skip
+	// tables. Captured at Freeze time.
+	RawBytes    int  `json:"raw_bytes"`
+	FrozenBytes int  `json:"frozen_bytes"`
+	Frozen      bool `json:"frozen"`
+
+	CacheHits   int64 `json:"result_count_cache_hits"`
+	CacheMisses int64 `json:"result_count_cache_misses"`
 }
 
-// phraseSearch returns every document containing the normalized phrase terms
-// contiguously, with occurrence counts, in ascending doc order.
-func (e *Engine) phraseSearch(terms []string) []phraseHit {
-	if len(terms) == 0 {
-		return nil
-	}
-	base := e.postings[terms[0]]
-	if len(base) == 0 {
-		return nil
-	}
-	var hits []phraseHit
-	for _, p := range base {
-		count := 0
-		first := int32(-1)
-		for _, pos := range p.positions {
-			if e.matchAt(p.doc, terms, pos) {
-				count++
-				if first < 0 {
-					first = pos
-				}
-			}
-		}
-		if count > 0 {
-			hits = append(hits, phraseHit{doc: p.doc, count: count, first: first})
+// Stats returns current index statistics. Size accounting is captured by
+// Freeze; on an unfrozen engine it is computed on the fly.
+func (e *Engine) Stats() IndexStats {
+	st := e.stats
+	if e.frozen == nil {
+		st = IndexStats{}
+		for i := range e.raw {
+			st.Postings += len(e.raw[i].docs)
+			st.Positions += len(e.raw[i].positions)
+			st.RawBytes += e.raw[i].rawBytes()
 		}
 	}
-	return hits
+	st.Docs = len(e.Docs)
+	st.Terms = e.vocab.Len()
+	if e.cache != nil {
+		st.CacheHits, st.CacheMisses = e.cache.stats()
+	}
+	return st
 }
 
-// matchAt reports whether doc has terms starting at token position pos.
-func (e *Engine) matchAt(doc int, terms []string, pos int32) bool {
-	tokens := e.Docs[doc].Tokens
-	if int(pos)+len(terms) > len(tokens) {
-		return false
+// internIDs maps query terms to vocabulary ids in sc.ids (absent terms map
+// to noTermID; phrase evaluation treats them as empty posting lists).
+func (e *Engine) internIDs(terms []string, sc *evalScratch) []uint32 {
+	ids := sc.ids[:0]
+	for _, t := range terms {
+		ids = append(ids, e.vocab.ID(t))
 	}
-	for j, t := range terms {
-		if tokens[int(pos)+j] != t {
-			return false
-		}
-	}
-	return true
+	sc.ids = ids
+	return ids
 }
 
 // ResultCount returns the number of documents matching phrase as an exact
 // phrase query — the paper's interestingness feature (4)
 // searchengine_phrase ("very specific concepts would return fewer results
-// than the more general concepts").
+// than the more general concepts"). On a frozen engine the count is memoized
+// in a sharded cache: the batch feature extractor queries many repeated
+// sub-phrases.
 func (e *Engine) ResultCount(phrase string) int {
-	return len(e.phraseSearch(textproc.Words(phrase)))
+	if e.cache != nil {
+		if n, ok := e.cache.get(phrase); ok {
+			return n
+		}
+	}
+	sc := getScratch()
+	n := e.countPhraseDocs(e.internIDs(textproc.Words(phrase), sc), sc)
+	putScratch(sc)
+	if e.cache != nil {
+		e.cache.put(phrase, n)
+	}
+	return n
 }
 
 // ResultCountAnyOrder returns the number of documents containing all the
@@ -153,26 +234,33 @@ func (e *Engine) ResultCountAnyOrder(phrase string) int {
 	if len(terms) == 0 {
 		return 0
 	}
-	counts := make(map[int]int)
-	seen := make(map[string]bool)
-	distinct := 0
+	sc := getScratch()
+	defer putScratch(sc)
+	// Dedup while interning; one absent term empties the conjunction.
+	ids := sc.ids[:0]
 	for _, t := range terms {
-		if seen[t] {
-			continue
+		id := e.vocab.ID(t)
+		if id == noTermID {
+			return 0
 		}
-		seen[t] = true
-		distinct++
-		for _, p := range e.postings[t] {
-			counts[p.doc]++
+		dup := false
+		for _, x := range ids {
+			if x == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ids = append(ids, id)
 		}
 	}
-	n := 0
-	for _, c := range counts {
-		if c == distinct {
-			n++
-		}
+	sc.ids = ids
+	if len(ids) == 1 {
+		// Single distinct term: the answer is its document frequency — no
+		// intersection machinery needed.
+		return e.docCount(ids[0])
 	}
-	return n
+	return e.intersectCount(ids, sc)
 }
 
 // Result is one ranked search result.
@@ -181,12 +269,12 @@ type Result struct {
 	Score float64
 }
 
-// Search runs a phrase query and returns up to k results ranked by a
-// tf·idf-flavoured score (phrase occurrences weighted by the rarity of the
-// phrase's terms, normalized by document length).
-func (e *Engine) Search(phrase string, k int) []Result {
-	terms := textproc.Words(phrase)
-	hits := e.phraseSearch(terms)
+// rankHits scores phrase hits with the tf·idf-flavoured formula (phrase
+// occurrences weighted by the rarity of the phrase's terms, normalized by
+// document length) and returns up to k results sorted by (score desc, doc
+// asc). The idf sum runs over terms in query order so float accumulation is
+// reproducible.
+func (e *Engine) rankHits(terms []string, hits []phraseHit, k int) []Result {
 	if len(hits) == 0 {
 		return nil
 	}
@@ -215,6 +303,16 @@ func (e *Engine) Search(phrase string, k int) []Result {
 	return results
 }
 
+// Search runs a phrase query and returns up to k results ranked by the
+// tf·idf-flavoured score.
+func (e *Engine) Search(phrase string, k int) []Result {
+	terms := textproc.Words(phrase)
+	sc := getScratch()
+	defer putScratch(sc)
+	hits := e.phraseHits(e.internIDs(terms, sc), sc)
+	return e.rankHits(terms, hits, k)
+}
+
 // SearchAnyTerm runs a bag-of-words (OR) query: documents containing any of
 // the query terms, ranked by summed tf·idf with length normalization. This
 // is the broad retrieval classic pseudo-relevance feedback runs on — and the
@@ -225,20 +323,28 @@ func (e *Engine) SearchAnyTerm(query string, k int) []Result {
 	if len(terms) == 0 {
 		return nil
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	scores := make(map[int]float64)
 	seen := make(map[string]bool, len(terms))
+	var c termCursor
 	for _, t := range terms {
 		if seen[t] || textproc.IsStopword(t) {
 			continue
 		}
 		seen[t] = true
 		idf := e.dict.IDF(t)
-		for _, p := range e.postings[t] {
-			docLen := len(e.Docs[p.doc].Tokens)
+		if !c.init(e, e.vocab.ID(t)) {
+			continue
+		}
+		// Sequential walk: only doc and frequency streams are decoded —
+		// position data stays untouched on the OR path.
+		for doc, ok := c.seekGEQ(0); ok; doc, ok = c.seekGEQ(doc + 1) {
+			docLen := len(e.Docs[doc].Tokens)
 			if docLen == 0 {
 				continue
 			}
-			scores[p.doc] += float64(len(p.positions)) * idf / (1 + float64(docLen)/200)
+			scores[int(doc)] += float64(c.freq()) * idf / (1 + float64(docLen)/200)
 		}
 	}
 	results := make([]Result, 0, len(scores))
@@ -261,50 +367,111 @@ func (e *Engine) SearchAnyTerm(query string, k int) []Result {
 // phrase occurrence included in a snippet.
 const SnippetWidth = 20
 
+// firstOccurrence returns the token position of the first occurrence of the
+// phrase (as interned ids) in docID, or -1 when the doc does not contain the
+// phrase. Cursor-based: never rescans document text.
+func (e *Engine) firstOccurrence(docID int32, ids []uint32, sc *evalScratch) int32 {
+	k := len(ids)
+	if k == 0 {
+		return -1
+	}
+	if cap(sc.cursors) < k {
+		sc.cursors = append(sc.cursors[:cap(sc.cursors)], make([]termCursor, k-cap(sc.cursors))...)
+	}
+	cs := sc.cursors[:k]
+	for i, id := range ids {
+		if !cs[i].init(e, id) {
+			return -1
+		}
+		d, ok := cs[i].seekGEQ(docID)
+		if !ok || d != docID {
+			return -1
+		}
+	}
+	p0s := cs[0].positions()
+	if k == 1 {
+		return p0s[0]
+	}
+	for i := range cs {
+		cs[i].ppi = 0
+	}
+	for _, p := range p0s {
+		matchAll := true
+		for j := 1; j < k; j++ {
+			if !cs[j].probePosition(p + int32(j)) {
+				matchAll = false
+				break
+			}
+		}
+		if matchAll {
+			return p
+		}
+	}
+	return -1
+}
+
+// snippetAt renders the snippet window of doc around a phrase occurrence at
+// token position `at` spanning termLen tokens.
+func (e *Engine) snippetAt(docID, at, termLen int) string {
+	d := &e.Docs[docID]
+	lo := at - SnippetWidth
+	if lo < 0 {
+		lo = 0
+	}
+	hi := at + termLen + SnippetWidth
+	if hi > len(d.Tokens) {
+		hi = len(d.Tokens)
+	}
+	var b strings.Builder
+	for i := lo; i < hi; i++ {
+		if i > lo {
+			b.WriteByte(' ')
+		}
+		b.WriteString(e.vocab.Token(d.Tokens[i]))
+	}
+	return b.String()
+}
+
 // Snippet builds the result snippet for doc: a window of tokens around the
 // first occurrence of the phrase ("short text strings ... constructed from
 // the result pages by the engine").
+//
+// Absent-phrase contract: when the document does not contain the phrase —
+// including an empty phrase, or phrase terms outside the corpus vocabulary —
+// the snippet is the document's head window: tokens [0, len(terms) +
+// SnippetWidth). A nonexistent doc id or an empty document yields "".
 func (e *Engine) Snippet(docID int, phrase string) string {
 	terms := textproc.Words(phrase)
 	d := e.Doc(docID)
 	if d == nil || len(d.Tokens) == 0 {
 		return ""
 	}
-	at := -1
-	for i := 0; i+len(terms) <= len(d.Tokens) && at < 0; i++ {
-		match := len(terms) > 0
-		for j := range terms {
-			if d.Tokens[i+j] != terms[j] {
-				match = false
-				break
-			}
-		}
-		if match {
-			at = i
-		}
-	}
+	sc := getScratch()
+	at := e.firstOccurrence(int32(docID), e.internIDs(terms, sc), sc)
+	putScratch(sc)
 	if at < 0 {
-		at = 0
+		at = 0 // head window (see contract above)
 	}
-	lo := at - SnippetWidth
-	if lo < 0 {
-		lo = 0
-	}
-	hi := at + len(terms) + SnippetWidth
-	if hi > len(d.Tokens) {
-		hi = len(d.Tokens)
-	}
-	return strings.Join(d.Tokens[lo:hi], " ")
+	return e.snippetAt(docID, int(at), len(terms))
 }
 
 // Snippets returns the snippets of the top-k results for phrase. The paper
 // uses the snippets of the first hundred results as the best resource for
-// relevant-keyword mining.
+// relevant-keyword mining. The phrase is evaluated once: each snippet reuses
+// the first-occurrence position recorded on the phrase hit instead of
+// rescanning the document.
 func (e *Engine) Snippets(phrase string, k int) []string {
-	results := e.Search(phrase, k)
+	terms := textproc.Words(phrase)
+	sc := getScratch()
+	defer putScratch(sc)
+	hits := e.phraseHits(e.internIDs(terms, sc), sc)
+	results := e.rankHits(terms, hits, k)
 	out := make([]string, 0, len(results))
 	for _, r := range results {
-		out = append(out, e.Snippet(r.DocID, phrase))
+		// hits are in ascending doc order; recover this result's hit to
+		// reuse its first-occurrence position.
+		i := sort.Search(len(hits), func(i int) bool { return hits[i].doc >= r.DocID })
+		out = append(out, e.snippetAt(r.DocID, int(hits[i].first), len(terms)))
 	}
 	return out
 }

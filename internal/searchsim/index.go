@@ -1,0 +1,600 @@
+package searchsim
+
+// The positional index behind the engine, in two representations:
+//
+//   - postingList: the raw build-time form. One flat triple of slices per
+//     interned term — ascending doc ids, per-doc start offsets, and the
+//     concatenated ascending token positions. Appending during indexing is
+//     O(1) amortized and the layout is cache-friendly for intersection.
+//
+//   - frozenList: the compressed read-only form produced by Engine.Freeze.
+//     Three Golomb-coded gap streams (doc gaps, frequency-minus-one,
+//     within-doc position gaps) plus skip blocks every skipInterval docs.
+//     Each skip block records the block's first doc id uncompressed and the
+//     bit offsets of the three streams, so a cursor can gallop to an
+//     arbitrary doc by binary-searching the skip table and decoding at most
+//     skipInterval-1 gaps — positions are only ever decoded for blocks the
+//     intersection actually visits.
+//
+// Both representations are evaluated by the same termCursor/leapfrog code
+// below; differential tests pin them to each other and to the reference
+// string-scanning engine bit for bit.
+
+import (
+	"sort"
+	"sync"
+
+	"contextrank/internal/golomb"
+)
+
+// skipInterval is the number of docs per skip block in the frozen index.
+// Part of the frozen layout: a cursor probe decodes at most skipInterval-1
+// doc gaps and one block of positions.
+const skipInterval = 32
+
+// postingList is the raw postings of one term.
+type postingList struct {
+	docs      []int32 // ascending doc ids
+	starts    []int32 // starts[i] indexes positions; doc i owns positions[starts[i]:starts[i+1]] (end = len(positions) for the last doc)
+	positions []int32 // ascending within each doc
+}
+
+// add appends one occurrence. Docs arrive in ascending order and positions
+// ascend within a doc, because indexing walks documents front to back.
+func (pl *postingList) add(doc, pos int32) {
+	if n := len(pl.docs); n == 0 || pl.docs[n-1] != doc {
+		pl.docs = append(pl.docs, doc)
+		pl.starts = append(pl.starts, int32(len(pl.positions)))
+	}
+	pl.positions = append(pl.positions, pos)
+}
+
+// end returns the exclusive position offset of doc index i.
+func (pl *postingList) end(i int) int32 {
+	if i+1 < len(pl.starts) {
+		return pl.starts[i+1]
+	}
+	return int32(len(pl.positions))
+}
+
+// rawBytes is the resident footprint of the raw list (int32 payload only;
+// slice headers excluded on both sides of the raw/frozen comparison).
+func (pl *postingList) rawBytes() int {
+	return 4 * (len(pl.docs) + len(pl.starts) + len(pl.positions))
+}
+
+// frozenList is the compressed postings of one term.
+type frozenList struct {
+	nDocs int32
+	nPos  int32
+
+	docM, freqM, posM uint32
+	docData           []byte // gap-1 coded doc deltas; block-first docs are elided (stored raw in skipFirstDoc)
+	freqData          []byte // freq-1 per doc
+	posData           []byte // per doc: first position, then gap-1 deltas; restarts every doc
+
+	skipFirstDoc []int32 // first doc id of block k, uncompressed
+	skipDocBits  []int32 // bit offset in docData of block k's second doc
+	skipFreqBits []int32 // bit offset in freqData of block k's first freq
+	skipPosBits  []int32 // bit offset in posData of block k's first position
+}
+
+// frozenBytes is the resident footprint of the compressed list.
+func (fl *frozenList) frozenBytes() int {
+	return len(fl.docData) + len(fl.freqData) + len(fl.posData) +
+		4*(len(fl.skipFirstDoc)+len(fl.skipDocBits)+len(fl.skipFreqBits)+len(fl.skipPosBits))
+}
+
+// freezeList compresses one raw posting list.
+func freezeList(pl *postingList) frozenList {
+	n := len(pl.docs)
+	fl := frozenList{nDocs: int32(n), nPos: int32(len(pl.positions))}
+	if n == 0 {
+		fl.docM, fl.freqM, fl.posM = 1, 1, 1
+		return fl
+	}
+	nblk := (n + skipInterval - 1) / skipInterval
+	fl.skipFirstDoc = make([]int32, nblk)
+	fl.skipDocBits = make([]int32, nblk)
+	fl.skipFreqBits = make([]int32, nblk)
+	fl.skipPosBits = make([]int32, nblk)
+
+	// Per-stream Golomb parameters from the mean coded value (the classic
+	// M ≈ 0.69·mean rule; see golomb.OptimalM).
+	fl.docM = golomb.OptimalM(float64(pl.docs[n-1]+1) / float64(n))
+	fl.freqM = golomb.OptimalM(float64(len(pl.positions)-n) / float64(n))
+	var posSum int64
+	for i := 0; i < n; i++ {
+		lo, hi := pl.starts[i], pl.end(i)
+		prev := int32(-1)
+		for _, p := range pl.positions[lo:hi] {
+			posSum += int64(p - prev - 1)
+			prev = p
+		}
+	}
+	fl.posM = golomb.OptimalM(float64(posSum) / float64(len(pl.positions)))
+
+	var docW, freqW, posW golomb.BitWriter
+	for i := 0; i < n; i++ {
+		if i%skipInterval == 0 {
+			k := i / skipInterval
+			fl.skipFirstDoc[k] = pl.docs[i]
+			fl.skipDocBits[k] = int32(docW.BitLen())
+			fl.skipFreqBits[k] = int32(freqW.BitLen())
+			fl.skipPosBits[k] = int32(posW.BitLen())
+		} else {
+			golomb.EncodeValueTo(&docW, uint32(pl.docs[i]-pl.docs[i-1]-1), fl.docM)
+		}
+		lo, hi := pl.starts[i], pl.end(i)
+		golomb.EncodeValueTo(&freqW, uint32(hi-lo-1), fl.freqM)
+		prev := int32(-1)
+		for _, p := range pl.positions[lo:hi] {
+			golomb.EncodeValueTo(&posW, uint32(p-prev-1), fl.posM)
+			prev = p
+		}
+	}
+	fl.docData = docW.Bytes()
+	fl.freqData = freqW.Bytes()
+	fl.posData = posW.Bytes()
+	return fl
+}
+
+// nblocks returns the number of skip blocks.
+func (fl *frozenList) nblocks() int { return len(fl.skipFirstDoc) }
+
+// termCursor iterates one term's postings in ascending doc order with
+// galloping forward seeks, over either representation. Cursors live in
+// pooled evalScratch; init rebinds a cursor without dropping its grown
+// position buffer.
+type termCursor struct {
+	n int // doc count
+
+	// raw mode
+	pl *postingList
+	ri int
+
+	// frozen mode
+	fl         *frozenList
+	blk        int // current skip block (-1 before first load)
+	blockLen   int
+	bi         int // index of the current doc within the block
+	docs       [skipInterval]int32
+	freqs      [skipInterval]int32
+	posOff     [skipInterval + 1]int32
+	posBuf     []int32
+	posDec     golomb.Decoder // sequential position decoder within the block
+	posDocs    int            // docs of this block whose positions are in posBuf
+	freqLoaded bool
+	posLoaded  bool // posDec initialized for this block
+
+	// ppi is the per-doc position-probe cursor used by probePosition; reset
+	// whenever the cursor lands on a doc.
+	ppi int
+}
+
+// init binds the cursor to term id. Reports false when the term has no
+// postings (including NoID terms absent from the corpus vocabulary).
+func (c *termCursor) init(e *Engine, id uint32) bool {
+	c.pl, c.fl = nil, nil
+	c.ri, c.blk, c.bi, c.blockLen = 0, -1, 0, 0
+	c.freqLoaded, c.posLoaded = false, false
+	c.ppi = 0
+	if id == noTermID || int(id) >= e.numTerms() {
+		return false
+	}
+	if e.frozen != nil {
+		fl := &e.frozen[id]
+		if fl.nDocs == 0 {
+			return false
+		}
+		c.fl, c.n = fl, int(fl.nDocs)
+		return true
+	}
+	pl := &e.raw[id]
+	if len(pl.docs) == 0 {
+		return false
+	}
+	c.pl, c.n = pl, len(pl.docs)
+	return true
+}
+
+// seekGEQ advances to the first doc >= d (forward-only) and returns it.
+// ok is false when the list is exhausted.
+func (c *termCursor) seekGEQ(d int32) (doc int32, ok bool) {
+	if c.pl != nil {
+		return c.seekRaw(d)
+	}
+	return c.seekFrozen(d)
+}
+
+// seekRaw gallops in the uncompressed doc slice from the current offset.
+func (c *termCursor) seekRaw(d int32) (int32, bool) {
+	docs := c.pl.docs
+	i := c.ri
+	if i >= len(docs) {
+		return 0, false
+	}
+	if docs[i] < d {
+		// Exponential probe, then binary search the bracketed range.
+		step := 1
+		lo, hi := i+1, len(docs)
+		for lo < hi && docs[lo] < d {
+			i = lo
+			lo += step
+			step <<= 1
+		}
+		if lo > hi {
+			lo = hi
+		}
+		i = i + 1 + sort.Search(lo-(i+1), func(k int) bool { return docs[i+1+k] >= d })
+		if i >= len(docs) {
+			c.ri = i
+			return 0, false
+		}
+	}
+	c.ri = i
+	c.ppi = 0
+	return docs[i], true
+}
+
+// seekFrozen gallops via the skip table, decoding at most one block of doc
+// gaps per landing block.
+func (c *termCursor) seekFrozen(d int32) (int32, bool) {
+	fl := c.fl
+	// Fast path: the target is inside the currently-loaded block.
+	if c.blk >= 0 && c.blockLen > 0 && c.docs[c.blockLen-1] >= d {
+		for j := c.bi; j < c.blockLen; j++ {
+			if c.docs[j] >= d {
+				c.bi = j
+				c.ppi = 0
+				return c.docs[j], true
+			}
+		}
+	}
+	// Locate the first candidate block at or after the current one.
+	nblk := fl.nblocks()
+	k := 0
+	if c.blk >= 0 {
+		k = c.blk + 1
+	}
+	// Binary search: last block whose first doc is <= d.
+	lo := sort.Search(nblk-k, func(i int) bool { return fl.skipFirstDoc[k+i] > d })
+	blk := k + lo - 1
+	if blk < k {
+		blk = k
+	}
+	for ; blk < nblk; blk++ {
+		if blk != c.blk {
+			c.loadBlock(blk)
+		}
+		for j := 0; j < c.blockLen; j++ {
+			if c.docs[j] >= d {
+				c.bi = j
+				c.ppi = 0
+				return c.docs[j], true
+			}
+		}
+	}
+	c.blockLen = 0
+	return 0, false
+}
+
+// loadBlock decodes the doc ids of skip block k.
+func (c *termCursor) loadBlock(k int) {
+	fl := c.fl
+	count := int(fl.nDocs) - k*skipInterval
+	if count > skipInterval {
+		count = skipInterval
+	}
+	c.blk, c.blockLen, c.bi = k, count, 0
+	c.freqLoaded, c.posLoaded = false, false
+	v := fl.skipFirstDoc[k]
+	c.docs[0] = v
+	dec := golomb.NewDecoderAt(fl.docData, fl.docM, int(fl.skipDocBits[k]))
+	for j := 1; j < count; j++ {
+		g, err := dec.Next()
+		if err != nil {
+			panic("searchsim: frozen doc stream corrupt: " + err.Error())
+		}
+		v += int32(g) + 1
+		c.docs[j] = v
+	}
+}
+
+// loadFreqs decodes the per-doc frequencies of the current block.
+func (c *termCursor) loadFreqs() {
+	fl := c.fl
+	dec := golomb.NewDecoderAt(fl.freqData, fl.freqM, int(fl.skipFreqBits[c.blk]))
+	for j := 0; j < c.blockLen; j++ {
+		f, err := dec.Next()
+		if err != nil {
+			panic("searchsim: frozen freq stream corrupt: " + err.Error())
+		}
+		c.freqs[j] = int32(f) + 1
+	}
+	c.freqLoaded = true
+}
+
+// loadPositionsThrough decodes positions lazily: the block's position
+// stream is sequential, so reaching doc index bi means decoding docs
+// [posDocs, bi] — but never the rest of the block. Candidates the
+// intersection skips past cost nothing beyond their doc gaps.
+func (c *termCursor) loadPositionsThrough(bi int) {
+	if !c.posLoaded {
+		if !c.freqLoaded {
+			c.loadFreqs()
+		}
+		fl := c.fl
+		c.posDec = golomb.NewDecoderAt(fl.posData, fl.posM, int(fl.skipPosBits[c.blk]))
+		c.posBuf = c.posBuf[:0]
+		c.posDocs = 0
+		c.posOff[0] = 0
+		c.posLoaded = true
+	}
+	for c.posDocs <= bi {
+		p := int32(-1)
+		for f := int32(0); f < c.freqs[c.posDocs]; f++ {
+			g, err := c.posDec.Next()
+			if err != nil {
+				panic("searchsim: frozen position stream corrupt: " + err.Error())
+			}
+			p += int32(g) + 1
+			c.posBuf = append(c.posBuf, p)
+		}
+		c.posDocs++
+		c.posOff[c.posDocs] = int32(len(c.posBuf))
+	}
+}
+
+// freq returns the occurrence count in the current doc.
+func (c *termCursor) freq() int32 {
+	if c.pl != nil {
+		return c.pl.end(c.ri) - c.pl.starts[c.ri]
+	}
+	if !c.freqLoaded {
+		c.loadFreqs()
+	}
+	return c.freqs[c.bi]
+}
+
+// positions returns the ascending token positions of the current doc. The
+// slice aliases cursor-owned storage and is valid until the cursor moves.
+func (c *termCursor) positions() []int32 {
+	if c.pl != nil {
+		return c.pl.positions[c.pl.starts[c.ri]:c.pl.end(c.ri)]
+	}
+	if c.posDocs <= c.bi || !c.posLoaded {
+		c.loadPositionsThrough(c.bi)
+	}
+	return c.posBuf[c.posOff[c.bi]:c.posOff[c.bi+1]]
+}
+
+// probePosition reports whether the current doc contains token position
+// target. Probes within one doc must ascend; the merge cursor ppi resets on
+// every doc landing, making a full per-doc check O(freq) amortized.
+func (c *termCursor) probePosition(target int32) bool {
+	ps := c.positions()
+	for c.ppi < len(ps) && ps[c.ppi] < target {
+		c.ppi++
+	}
+	return c.ppi < len(ps) && ps[c.ppi] == target
+}
+
+// phraseHit is one document matching a phrase query.
+type phraseHit struct {
+	doc   int
+	count int   // number of phrase occurrences
+	first int32 // position of first occurrence
+}
+
+// evalScratch is the pooled per-query working set: interned ids, one cursor
+// per phrase term, and the hit accumulator. Frozen evaluation decodes into
+// the cursors' reusable buffers, keeping queries allocation-light.
+type evalScratch struct {
+	ids     []uint32
+	cursors []termCursor
+	hits    []phraseHit
+}
+
+// phraseHits evaluates an exact-phrase query over interned term ids and
+// returns the matching docs in ascending order with occurrence counts and
+// first-occurrence positions — the replacement for the seed engine's
+// string-rescanning matchAt loop. The rarest term drives a leapfrog
+// intersection; every other term is galloped to the driver's doc, and
+// per-doc occurrence checks probe offset-shifted position lists.
+//
+// The returned slice aliases sc.hits.
+func (e *Engine) phraseHits(ids []uint32, sc *evalScratch) []phraseHit {
+	k := len(ids)
+	if k == 0 {
+		return nil
+	}
+	if cap(sc.cursors) < k {
+		sc.cursors = append(sc.cursors[:cap(sc.cursors)], make([]termCursor, k-cap(sc.cursors))...)
+	}
+	cs := sc.cursors[:k]
+	for i, id := range ids {
+		if !cs[i].init(e, id) {
+			return nil
+		}
+	}
+	drv := 0
+	for i := 1; i < k; i++ {
+		if cs[i].n < cs[drv].n {
+			drv = i
+		}
+	}
+	hits := sc.hits[:0]
+	doc, ok := cs[drv].seekGEQ(0)
+outer:
+	for ok {
+		for i := 0; i < k; i++ {
+			if i == drv {
+				continue
+			}
+			d2, ok2 := cs[i].seekGEQ(doc)
+			if !ok2 {
+				break outer
+			}
+			if d2 > doc {
+				doc, ok = cs[drv].seekGEQ(d2)
+				if !ok {
+					break outer
+				}
+				continue outer
+			}
+		}
+		count := 0
+		first := int32(-1)
+		p0s := cs[0].positions()
+		if k == 1 {
+			count, first = len(p0s), p0s[0]
+		} else {
+			for i := 0; i < k; i++ {
+				cs[i].ppi = 0
+			}
+			for _, p := range p0s {
+				match := true
+				for j := 1; j < k; j++ {
+					if !cs[j].probePosition(p + int32(j)) {
+						match = false
+						break
+					}
+				}
+				if match {
+					count++
+					if first < 0 {
+						first = p
+					}
+				}
+			}
+		}
+		if count > 0 {
+			hits = append(hits, phraseHit{doc: int(doc), count: count, first: first})
+		}
+		doc, ok = cs[drv].seekGEQ(doc + 1)
+	}
+	sc.hits = hits
+	return hits
+}
+
+// countPhraseDocs returns the number of docs containing the phrase at least
+// once — the ResultCount kernel. Unlike phraseHits it never materializes
+// hits: a single term is answered from the document frequency alone (no
+// position decode), and multi-term candidates stop probing at the first
+// full occurrence.
+func (e *Engine) countPhraseDocs(ids []uint32, sc *evalScratch) int {
+	k := len(ids)
+	if k == 0 {
+		return 0
+	}
+	if cap(sc.cursors) < k {
+		sc.cursors = append(sc.cursors[:cap(sc.cursors)], make([]termCursor, k-cap(sc.cursors))...)
+	}
+	cs := sc.cursors[:k]
+	for i, id := range ids {
+		if !cs[i].init(e, id) {
+			return 0
+		}
+	}
+	if k == 1 {
+		// Every posting is an occurrence: the answer is the doc frequency.
+		return cs[0].n
+	}
+	drv := 0
+	for i := 1; i < k; i++ {
+		if cs[i].n < cs[drv].n {
+			drv = i
+		}
+	}
+	n := 0
+	doc, ok := cs[drv].seekGEQ(0)
+outer:
+	for ok {
+		for i := 0; i < k; i++ {
+			if i == drv {
+				continue
+			}
+			d2, ok2 := cs[i].seekGEQ(doc)
+			if !ok2 {
+				break outer
+			}
+			if d2 > doc {
+				doc, ok = cs[drv].seekGEQ(d2)
+				if !ok {
+					break outer
+				}
+				continue outer
+			}
+		}
+		for i := 0; i < k; i++ {
+			cs[i].ppi = 0
+		}
+		for _, p := range cs[0].positions() {
+			matched := true
+			for j := 1; j < k; j++ {
+				if !cs[j].probePosition(p + int32(j)) {
+					matched = false
+					break
+				}
+			}
+			if matched {
+				n++ // one occurrence is enough for the count
+				break
+			}
+		}
+		doc, ok = cs[drv].seekGEQ(doc + 1)
+	}
+	return n
+}
+
+// intersectCount returns the number of docs containing every listed term
+// (any order, no position constraint) — the any-order query path. It runs
+// the same leapfrog as phraseHits but never touches position streams.
+func (e *Engine) intersectCount(ids []uint32, sc *evalScratch) int {
+	k := len(ids)
+	if cap(sc.cursors) < k {
+		sc.cursors = append(sc.cursors[:cap(sc.cursors)], make([]termCursor, k-cap(sc.cursors))...)
+	}
+	cs := sc.cursors[:k]
+	for i, id := range ids {
+		if !cs[i].init(e, id) {
+			return 0
+		}
+	}
+	drv := 0
+	for i := 1; i < k; i++ {
+		if cs[i].n < cs[drv].n {
+			drv = i
+		}
+	}
+	n := 0
+	doc, ok := cs[drv].seekGEQ(0)
+outer:
+	for ok {
+		for i := 0; i < k; i++ {
+			if i == drv {
+				continue
+			}
+			d2, ok2 := cs[i].seekGEQ(doc)
+			if !ok2 {
+				break outer
+			}
+			if d2 > doc {
+				doc, ok = cs[drv].seekGEQ(d2)
+				if !ok {
+					break outer
+				}
+				continue outer
+			}
+		}
+		n++
+		doc, ok = cs[drv].seekGEQ(doc + 1)
+	}
+	return n
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+func getScratch() *evalScratch  { return scratchPool.Get().(*evalScratch) }
+func putScratch(s *evalScratch) { scratchPool.Put(s) }

@@ -45,10 +45,10 @@ func (s *Suggestor) Suggest(query string, max int) []Suggestion {
 	}
 	qText := strings.Join(qTerms, " ")
 
-	seen := make(map[int]bool)
-	var phraseMatches, termMatches []int
+	seen := make(map[int32]bool)
+	var phraseMatches, termMatches []int32
 	for _, idx := range s.log.QueriesContaining(qTerms[0]) {
-		q := s.log.Query(idx)
+		q := s.log.Query(int(idx))
 		if q.Text == qText {
 			continue
 		}
@@ -66,7 +66,7 @@ func (s *Suggestor) Suggest(query string, max int) []Suggestion {
 			if seen[idx] {
 				continue
 			}
-			q := s.log.Query(idx)
+			q := s.log.Query(int(idx))
 			if q.Text == qText {
 				continue
 			}
@@ -75,10 +75,10 @@ func (s *Suggestor) Suggest(query string, max int) []Suggestion {
 		}
 	}
 
-	build := func(idxs []int) []Suggestion {
+	build := func(idxs []int32) []Suggestion {
 		out := make([]Suggestion, 0, len(idxs))
 		for _, idx := range idxs {
-			q := s.log.Query(idx)
+			q := s.log.Query(int(idx))
 			out = append(out, Suggestion{Text: q.Text, Freq: q.Freq})
 		}
 		sort.Slice(out, func(i, j int) bool {

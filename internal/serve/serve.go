@@ -37,6 +37,7 @@ import (
 	"contextrank/internal/detect"
 	"contextrank/internal/framework"
 	"contextrank/internal/resilience"
+	"contextrank/internal/searchsim"
 	"contextrank/internal/textproc"
 )
 
@@ -67,6 +68,10 @@ type Server struct {
 	// serve the exact bytes of the original cold response and bypass the
 	// admission gate; see Cache for the full contract.
 	Cache *Cache
+	// IndexStats, when set, reports the search index's build-time size
+	// accounting (raw vs Golomb-frozen bytes) and ResultCount memo-cache
+	// counters in /statz. Wired to searchsim.Engine.Stats by cmd/serve.
+	IndexStats func() searchsim.IndexStats
 
 	ready       atomic.Bool
 	requests    atomic.Int64
@@ -420,6 +425,10 @@ type Stats struct {
 
 	// Cache reports the annotation-cache counters (absent when disabled).
 	Cache *CacheStats `json:"cache,omitempty"`
+
+	// Index reports the frozen search-index size and the ResultCount
+	// memo-cache counters (absent when the server has no index wired).
+	Index *searchsim.IndexStats `json:"index,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -440,6 +449,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.Cache != nil {
 		cs := s.Cache.Stats()
 		st.Cache = &cs
+	}
+	if s.IndexStats != nil {
+		is := s.IndexStats()
+		st.Index = &is
 	}
 	s.writeJSON(w, st)
 }
