@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench chaos verify
+.PHONY: build vet lint lint-fix test race bench chaos verify
 
 build:
 	$(GO) build ./...
@@ -9,11 +9,21 @@ vet:
 	$(GO) vet ./...
 
 # kwlint is the project's own go/analysis suite (internal/analysis/...):
-# determinism, orderedfanout, seededrand, floatcompare, errsink. It
-# re-executes itself through `go vet -vettool`, so results are cached like
-# any vet run.
+# determinism, orderedfanout, seededrand, floatcompare, errsink, hotpath,
+# poolalias, lockguard, frozen, ctxflow. It re-executes itself through
+# `go vet -vettool`, so results are cached like any vet run. The analyzer
+# roster in this comment is checked against kwlint.Analyzers() by
+# TestSuiteRosterInSync; update both together.
 lint:
 	$(GO) run ./cmd/kwlint ./...
+
+# lint-fix applies the analyzers' suggested fixes in place — currently
+# the hotpath prealloc rewrite (slice declared without capacity → a
+# capacity make). Fixes carry /* TODO: right-size */ markers where the
+# correct value is a judgment call, so review the diff and re-run
+# `make lint` afterwards.
+lint-fix:
+	$(GO) run ./cmd/kwlint -fix ./...
 
 test:
 	$(GO) test ./...

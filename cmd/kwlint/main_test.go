@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// sampleVetStderr is a faithful miniature of what `go vet -json` writes
+// on stderr: '#' progress comments from the go tool interleaved with
+// one pretty-printed JSON tree per package, deliberately ordered so the
+// raw stream is NOT sorted (second package's file sorts first).
+const sampleVetStderr = `# contextrank/internal/zeta
+# [contextrank/internal/zeta]
+{
+	"contextrank/internal/zeta": {
+		"seededrand": [
+			{
+				"posn": "/repo/internal/zeta/z.go:6:31",
+				"message": "hard-coded seed for rand.NewSource"
+			}
+		],
+		"hotpath": [
+			{
+				"posn": "/repo/internal/zeta/z.go:6:31",
+				"message": "fmt.Sprintf allocates on the hot path"
+			},
+			{
+				"posn": "/repo/internal/zeta/z.go:2:1",
+				"message": "make(map) allocates on the hot path",
+				"suggested_fixes": [
+					{
+						"message": "preallocate with an explicit capacity",
+						"edits": [
+							{
+								"filename": "/repo/internal/zeta/z.go",
+								"start": 10,
+								"end": 17,
+								"new": "make([]int, 0, 16)"
+							}
+						]
+					}
+				]
+			}
+		]
+	}
+}
+# contextrank/internal/alpha
+{
+	"contextrank/internal/alpha": {
+		"determinism": [
+			{
+				"posn": "/repo/internal/alpha/a.go:40:2",
+				"message": "map iteration feeds an ordered sink"
+			}
+		]
+	}
+}
+`
+
+func TestParseVetJSON(t *testing.T) {
+	diags, err := parseVetJSON(strings.NewReader(sampleVetStderr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4: %+v", len(diags), diags)
+	}
+	var withFix int
+	for _, d := range diags {
+		if len(d.fixes) > 0 {
+			withFix++
+			if d.Analyzer != "hotpath" || d.fixes[0].Edits[0].New != "make([]int, 0, 16)" {
+				t.Errorf("fix attached to wrong diagnostic: %+v", d)
+			}
+		}
+	}
+	if withFix != 1 {
+		t.Errorf("got %d diagnostics with fixes, want 1", withFix)
+	}
+}
+
+func TestParseVetJSONEmpty(t *testing.T) {
+	diags, err := parseVetJSON(strings.NewReader("# pkg one\n# pkg two\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %d diagnostics from comment-only stream, want 0", len(diags))
+	}
+}
+
+func TestParseVetJSONAnalyzerError(t *testing.T) {
+	const stream = `{"p": {"hotpath": {"error": "internal failure"}}}`
+	if _, err := parseVetJSON(strings.NewReader(stream)); err == nil || !strings.Contains(err.Error(), "internal failure") {
+		t.Fatalf("analyzer error not surfaced: %v", err)
+	}
+}
+
+func TestSplitPosn(t *testing.T) {
+	file, line, col, err := splitPosn("/a/b/c.go:12:7")
+	if err != nil || file != "/a/b/c.go" || line != 12 || col != 7 {
+		t.Fatalf("got (%q,%d,%d,%v)", file, line, col, err)
+	}
+	// Windows-style path: parse from the right.
+	file, line, col, err = splitPosn(`C:\repo\a.go:3:4`)
+	if err != nil || file != `C:\repo\a.go` || line != 3 || col != 4 {
+		t.Fatalf("got (%q,%d,%d,%v)", file, line, col, err)
+	}
+	for _, bad := range []string{"", "nofile", "a.go:x:1", "a.go:1:y"} {
+		if _, _, _, err := splitPosn(bad); err == nil {
+			t.Errorf("splitPosn(%q): want error", bad)
+		}
+	}
+}
+
+// TestJSONOutputDeterministic is the -json contract: one compact JSON
+// object per line with exactly file/line/col/analyzer/message, sorted
+// by those keys, regardless of the order vet produced them.
+func TestJSONOutputDeterministic(t *testing.T) {
+	diags, err := parseVetJSON(strings.NewReader(sampleVetStderr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortDiagnostics(diags)
+
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+
+	want := []struct {
+		file     string
+		line     int
+		analyzer string
+	}{
+		{"/repo/internal/alpha/a.go", 40, "determinism"},
+		{"/repo/internal/zeta/z.go", 2, "hotpath"},
+		{"/repo/internal/zeta/z.go", 6, "hotpath"}, // same posn: analyzer breaks the tie
+		{"/repo/internal/zeta/z.go", 6, "seededrand"},
+	}
+	for i, ln := range lines {
+		var d map[string]any
+		if err := json.Unmarshal([]byte(ln), &d); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, ln)
+		}
+		if len(d) != 5 {
+			t.Errorf("line %d: got %d fields, want exactly file/line/col/analyzer/message: %s", i, len(d), ln)
+		}
+		if d["file"] != want[i].file || int(d["line"].(float64)) != want[i].line || d["analyzer"] != want[i].analyzer {
+			t.Errorf("line %d: got %s, want %+v", i, ln, want[i])
+		}
+	}
+}
+
+func TestApplyEdits(t *testing.T) {
+	src := []byte("aaa bbb ccc")
+	out, err := applyEdits(src, []textEdit{
+		{Start: 8, End: 11, New: "C"},
+		{Start: 0, End: 3, New: "AAAAA"}, // unsorted on purpose
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out); got != "AAAAA bbb C" {
+		t.Fatalf("got %q", got)
+	}
+	if string(src) != "aaa bbb ccc" {
+		t.Fatalf("source mutated: %q", src)
+	}
+}
+
+func TestApplyEditsRejectsBadEdits(t *testing.T) {
+	src := []byte("hello")
+	if _, err := applyEdits(src, []textEdit{{Start: 2, End: 9, New: "x"}}); err == nil {
+		t.Error("out-of-bounds edit accepted")
+	}
+	if _, err := applyEdits(src, []textEdit{
+		{Start: 0, End: 3, New: "x"},
+		{Start: 2, End: 4, New: "y"},
+	}); err == nil {
+		t.Error("overlapping edits accepted")
+	}
+}
+
+// TestApplyFixesPartitions checks that -fix consumes exactly the
+// diagnostics carrying a fix and returns the rest untouched.
+func TestApplyFixesPartitions(t *testing.T) {
+	dir := t.TempDir()
+	target := dir + "/z.go"
+	if err := os.WriteFile(target, []byte("x := []int{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []diagnostic{
+		{File: target, Line: 1, Col: 1, Analyzer: "hotpath", Message: "append growth", fixes: []suggestedFix{{
+			Message: "preallocate",
+			Edits:   []textEdit{{Filename: target, Start: 5, End: 12, New: "make([]int, 0, 8)"}},
+		}}},
+		{File: target, Line: 9, Col: 1, Analyzer: "determinism", Message: "no fix for this"},
+	}
+	var log bytes.Buffer
+	remaining, err := applyFixes(diags, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remaining) != 1 || remaining[0].Analyzer != "determinism" {
+		t.Fatalf("remaining = %+v, want the unfixable determinism diagnostic", remaining)
+	}
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "x := make([]int, 0, 8)\n" {
+		t.Fatalf("file after fix = %q", got)
+	}
+	if !strings.Contains(log.String(), "applied 1 fix(es) in 1 file(s)") {
+		t.Errorf("log missing summary: %q", log.String())
+	}
+}

@@ -4,15 +4,19 @@
 //
 // The upstream golang.org/x/tools/go/analysis/analysistest package drags
 // in go/packages and friends, which this repo deliberately does not
-// vendor; the subset of behavior the kwlint tests need — load one
-// fixture package, typecheck it against the standard library, run the
+// vendor; the subset of behavior the kwlint tests need — load fixture
+// packages, typecheck them against the standard library, run the
 // analyzer and its Requires closure, diff diagnostics against
-// expectations — fits in this file.
+// expectations — fits in this package.
 //
 // Fixture layout mirrors analysistest: <testdata>/src/<importpath>/*.go,
 // where <importpath> doubles as the fixture package's import path (so a
 // fixture under src/internal/serve/ is analyzed as package path
 // "internal/serve", which is what the scoped kwlint analyzers match on).
+// A fixture may import another fixture by its path ("fixdep/lib"); the
+// dependency is loaded from the same tree, analyzed first, and any facts
+// the analyzer exports on its objects are visible when the importing
+// fixture is analyzed — exactly the unitchecker fact flow, in memory.
 //
 // Expectation syntax, on the line the diagnostic is reported:
 //
@@ -21,7 +25,7 @@
 //
 // Each quoted chunk is a regexp that must match the message of exactly
 // one diagnostic on that line, and every diagnostic must be claimed by
-// an expectation.
+// an expectation. Want comments in dependency fixtures are checked too.
 package atest
 
 import (
@@ -35,6 +39,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strconv"
@@ -46,39 +51,124 @@ import (
 )
 
 // Run loads each fixture package under root/src and applies the analyzer,
-// comparing diagnostics against the fixtures' want comments.
+// comparing diagnostics against the fixtures' want comments (including
+// want comments in any fixture dependencies pulled in by imports).
 func Run(t *testing.T, root string, a *analysis.Analyzer, fixturePaths ...string) {
 	t.Helper()
 	for _, path := range fixturePaths {
 		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
 			t.Helper()
-			runOne(t, root, a, path)
+			res, err := Analyze(root, a, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkExpectations(t, res.Fset, res.Files, res.Diagnostics)
 		})
 	}
 }
 
-func runOne(t *testing.T, root string, a *analysis.Analyzer, pkgPath string) {
-	t.Helper()
-	dir := filepath.Join(root, "src", filepath.FromSlash(pkgPath))
+// Result is the outcome of analyzing one fixture package (plus its
+// fixture dependencies, analyzed first for fact propagation).
+type Result struct {
+	Fset *token.FileSet
+	// Files are all files of all loaded fixture packages, dependencies
+	// first.
+	Files []*ast.File
+	// Diagnostics are the analyzer's reports across all loaded fixture
+	// packages, in analysis order.
+	Diagnostics []analysis.Diagnostic
+}
+
+// Analyze loads the fixture package at root/src/<pkgPath>, analyzes its
+// fixture dependencies (for facts), then the package itself, and returns
+// everything reported. It is the plumbing under Run, exported so tests
+// can assert on raw diagnostics (e.g. the contract meta-test, which
+// strips an annotation from a fixture copy and wants proof the suite
+// notices).
+func Analyze(root string, a *analysis.Analyzer, pkgPath string) (*Result, error) {
+	l := &loader{
+		root:     root,
+		analyzer: a,
+		fset:     token.NewFileSet(),
+		pkgs:     map[string]*types.Package{},
+		loading:  map[string]bool{},
+		objFacts: map[objFactKey]analysis.Fact{},
+		pkgFacts: map[pkgFactKey]analysis.Fact{},
+	}
+	if err := l.load(pkgPath); err != nil {
+		return nil, err
+	}
+	return &Result{Fset: l.fset, Files: l.allFiles, Diagnostics: l.diags}, nil
+}
+
+// loader loads and analyzes fixture packages in dependency order,
+// carrying analyzer facts across packages in memory.
+type loader struct {
+	root     string
+	analyzer *analysis.Analyzer
+	fset     *token.FileSet
+	pkgs     map[string]*types.Package // loaded fixture packages by path
+	loading  map[string]bool           // cycle guard
+	allFiles []*ast.File
+	diags    []analysis.Diagnostic
+	objFacts map[objFactKey]analysis.Fact
+	pkgFacts map[pkgFactKey]analysis.Fact
+}
+
+type objFactKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	typ reflect.Type
+}
+
+func (l *loader) load(pkgPath string) error {
+	if _, done := l.pkgs[pkgPath]; done {
+		return nil
+	}
+	if l.loading[pkgPath] {
+		return fmt.Errorf("fixture import cycle through %s", pkgPath)
+	}
+	l.loading[pkgPath] = true
+	defer delete(l.loading, pkgPath)
+
+	dir := filepath.Join(l.root, "src", filepath.FromSlash(pkgPath))
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("reading fixture dir: %v", err)
+		return fmt.Errorf("reading fixture dir: %w", err)
 	}
-
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("parsing fixture: %v", err)
+			return fmt.Errorf("parsing fixture: %w", err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		t.Fatalf("no fixture files in %s", dir)
+		return fmt.Errorf("no fixture files in %s", dir)
+	}
+
+	// Analyze fixture dependencies first so their facts are in the store
+	// when this package imports their objects.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(l.root, "src", filepath.FromSlash(path))); err == nil && st.IsDir() {
+				if err := l.load(path); err != nil {
+					return err
+				}
+			}
+		}
 	}
 
 	info := &types.Info{
@@ -90,33 +180,58 @@ func runOne(t *testing.T, root string, a *analysis.Analyzer, pkgPath string) {
 		Scopes:     map[ast.Node]*types.Scope{},
 		Instances:  map[*ast.Ident]types.Instance{},
 	}
-	conf := types.Config{Importer: stdImporter(fset)}
-	pkg, err := conf.Check(pkgPath, fset, files, info)
+	conf := types.Config{Importer: &fixtureImporter{l: l, std: stdImporter(l.fset)}}
+	pkg, err := conf.Check(pkgPath, l.fset, files, info)
 	if err != nil {
-		t.Fatalf("typechecking fixture %s: %v", pkgPath, err)
+		return fmt.Errorf("typechecking fixture %s: %v", pkgPath, err)
 	}
+	l.pkgs[pkgPath] = pkg
+	l.allFiles = append(l.allFiles, files...)
 
-	diags := runWithRequires(t, a, fset, files, pkg, info)
-	checkExpectations(t, fset, files, diags)
+	diags, err := l.runWithRequires(files, pkg, info)
+	if err != nil {
+		return err
+	}
+	l.diags = append(l.diags, diags...)
+	return nil
+}
+
+// fixtureImporter resolves imports from the fixture tree first (reusing
+// the packages the loader already typechecked) and falls back to
+// standard-library export data.
+type fixtureImporter struct {
+	l   *loader
+	std types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return fi.std.Import(path)
 }
 
 // runWithRequires executes the analyzer's Requires closure in dependency
-// order and then the analyzer itself, returning its diagnostics.
-func runWithRequires(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
-	t.Helper()
+// order and then the analyzer itself, returning its diagnostics. Fact
+// export/import is backed by the loader's in-memory store, so facts flow
+// between fixture packages exactly as they do between build units under
+// the real driver.
+func (l *loader) runWithRequires(files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
 	results := map[*analysis.Analyzer]interface{}{}
-	var run func(an *analysis.Analyzer)
-	run = func(an *analysis.Analyzer) {
+	var run func(an *analysis.Analyzer) error
+	run = func(an *analysis.Analyzer) error {
 		if _, done := results[an]; done {
-			return
+			return nil
 		}
 		for _, req := range an.Requires {
-			run(req)
+			if err := run(req); err != nil {
+				return err
+			}
 		}
 		pass := &analysis.Pass{
 			Analyzer:   an,
-			Fset:       fset,
+			Fset:       l.fset,
 			Files:      files,
 			Pkg:        pkg,
 			TypesInfo:  info,
@@ -124,19 +239,72 @@ func runWithRequires(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, fi
 			ResultOf:   results,
 			ReadFile:   os.ReadFile,
 			Report: func(d analysis.Diagnostic) {
-				if an == a { // dependency diagnostics are not under test
+				if an == l.analyzer { // dependency diagnostics are not under test
 					diags = append(diags, d)
 				}
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				l.objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = copyFact(fact)
+			},
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				stored, ok := l.objFacts[objFactKey{obj, reflect.TypeOf(fact)}]
+				if !ok {
+					return false
+				}
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+				return true
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				l.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}] = copyFact(fact)
+			},
+			ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+				stored, ok := l.pkgFacts[pkgFactKey{p, reflect.TypeOf(fact)}]
+				if !ok {
+					return false
+				}
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+				return true
+			},
+			AllObjectFacts: func() []analysis.ObjectFact {
+				var out []analysis.ObjectFact
+				for k, f := range l.objFacts {
+					out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+				}
+				return out
+			},
+			AllPackageFacts: func() []analysis.PackageFact {
+				var out []analysis.PackageFact
+				for k, f := range l.pkgFacts {
+					out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+				}
+				return out
 			},
 		}
 		res, err := an.Run(pass)
 		if err != nil {
-			t.Fatalf("analyzer %s: %v", an.Name, err)
+			return fmt.Errorf("analyzer %s: %v", an.Name, err)
 		}
 		results[an] = res
+		return nil
 	}
-	run(a)
-	return diags
+	if err := run(l.analyzer); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// copyFact clones a fact so later mutation by the exporting analyzer
+// cannot corrupt the store (the real driver round-trips facts through
+// gob; a shallow struct copy gives the same isolation for the flat fact
+// types kwlint uses).
+func copyFact(fact analysis.Fact) analysis.Fact {
+	v := reflect.ValueOf(fact)
+	if v.Kind() != reflect.Ptr {
+		return fact
+	}
+	cp := reflect.New(v.Elem().Type())
+	cp.Elem().Set(v.Elem())
+	return cp.Interface().(analysis.Fact)
 }
 
 // expectation is one want regexp at a file line.

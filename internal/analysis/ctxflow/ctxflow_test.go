@@ -1,0 +1,18 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"contextrank/internal/analysis/atest"
+	"contextrank/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	// ctxflowfix/internal/serve sits inside the scope and exercises
+	// root-context minting, time.After, and timer Stop pairing;
+	// ctxflownot commits the same constructs out of scope.
+	atest.Run(t, "../testdata", ctxflow.Analyzer,
+		"ctxflowfix/internal/serve",
+		"ctxflownot",
+	)
+}

@@ -13,12 +13,21 @@
 //  3. emitting a returned slice from a map range without sorting, which
 //     leaks Go's randomized map iteration order into the output.
 //
-// Only packages inside the -packages scope are checked; _test.go files
-// are exempt.
+// Only packages inside the -packages scope are checked. _test.go files
+// are NOT exempt: a test that reads the wall clock or the global rand
+// source is flaky in exactly the way the pipeline must not be, and the
+// first-class //kwlint:ignore directive exists for the rare test that
+// legitimately needs one of these constructs.
+//
+// As the first analyzer in the suite roster, determinism additionally
+// owns the cross-cutting annotation diagnostics in every package (not
+// just its own scope): unknown //kw: verbs and malformed
+// //kwlint:ignore directives are reported here, exactly once per run.
 package determinism
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"golang.org/x/tools/go/analysis"
@@ -52,33 +61,36 @@ func init() {
 var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	// Suite-owner duties run in every package, before the scope gate:
+	// NewSuppressor reports malformed //kwlint:ignore directives and
+	// ReportMalformed claims unknown //kw: verbs (each exactly once per
+	// suite run, since only AnalyzerNames[0] owns them).
+	sup := kwutil.NewSuppressor(pass, "determinism")
+	defer sup.Finish()
+	kwutil.ReportMalformed(pass, "determinism", func(pos token.Pos, problem string) {
+		pass.Reportf(pos, "%s", problem)
+	})
 	if !scope.InScope(pass) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
 	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
-		if kwutil.IsTestFile(pass.Fset, n.Pos()) {
-			return
-		}
 		sel := n.(*ast.SelectorExpr)
 		pkg, name := kwutil.PkgFunc(pass.TypesInfo, sel)
 		switch pkg {
 		case "time":
 			if name == "Now" || name == "Since" || name == "Until" {
-				pass.Reportf(sel.Pos(), "time.%s reads the wall clock inside a deterministic pipeline package; inject a clock or pass timestamps in", name)
+				sup.Reportf(sel.Pos(), "time.%s reads the wall clock inside a deterministic pipeline package; inject a clock or pass timestamps in", name)
 			}
 		case "math/rand", "math/rand/v2":
 			if !randConstructors[name] {
-				pass.Reportf(sel.Pos(), "global math/rand source (rand.%s) in a deterministic pipeline package; draw from an injected *rand.Rand instead", name)
+				sup.Reportf(sel.Pos(), "global math/rand source (rand.%s) in a deterministic pipeline package; draw from an injected *rand.Rand instead", name)
 			}
 		}
 	})
 
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
-		if kwutil.IsTestFile(pass.Fset, n.Pos()) {
-			return
-		}
 		var body *ast.BlockStmt
 		switch fn := n.(type) {
 		case *ast.FuncDecl:
@@ -87,7 +99,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			body = fn.Body
 		}
 		if body != nil {
-			checkMapOrder(pass, body)
+			checkMapOrder(pass, sup, body)
 		}
 	})
 
@@ -97,7 +109,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 // checkMapOrder flags `for … := range m { s = append(s, …) }` when s is
 // returned by the function and never passes through a sort. The append
 // order then depends on map iteration order, which Go randomizes per run.
-func checkMapOrder(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkMapOrder(pass *analysis.Pass, sup *kwutil.Suppressor, body *ast.BlockStmt) {
 	returned := map[types.Object]bool{}
 	sorted := map[types.Object]bool{}
 
@@ -155,7 +167,7 @@ func checkMapOrder(pass *analysis.Pass, body *ast.BlockStmt) {
 				}
 				obj := pass.TypesInfo.ObjectOf(lhs)
 				if obj != nil && returned[obj] && !sorted[obj] {
-					pass.Reportf(assign.Pos(), "%s is appended to while ranging over a map and returned without a sort; output depends on map iteration order", lhs.Name)
+					sup.Reportf(assign.Pos(), "%s is appended to while ranging over a map and returned without a sort; output depends on map iteration order", lhs.Name)
 				}
 			}
 			return true
@@ -163,4 +175,3 @@ func checkMapOrder(pass *analysis.Pass, body *ast.BlockStmt) {
 		return true
 	})
 }
-

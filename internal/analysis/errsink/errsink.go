@@ -18,7 +18,9 @@
 //   - fmt.Fprint / Fprintf / Fprintln
 //
 // Calls on bytes.Buffer and strings.Builder are exempt — their writes
-// are documented to never return an error.
+// are documented to never return an error. _test.go files are NOT
+// exempt: a test helper that drops a write error hides the same
+// truncation bugs in the fixtures it builds.
 package errsink
 
 import (
@@ -56,21 +58,20 @@ var fmtSinks = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true
 var ioSinks = map[string]bool{"WriteString": true, "Copy": true}
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	sup := kwutil.NewSuppressor(pass, "errsink")
+	defer sup.Finish()
 	if !scope.InScope(pass) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
 	ins.Preorder([]ast.Node{(*ast.ExprStmt)(nil)}, func(n ast.Node) {
-		if kwutil.IsTestFile(pass.Fset, n.Pos()) {
-			return
-		}
 		call, ok := ast.Unparen(n.(*ast.ExprStmt).X).(*ast.CallExpr)
 		if !ok {
 			return
 		}
 		if name := sinkName(pass.TypesInfo, call); name != "" {
-			pass.Reportf(call.Pos(), "error from %s is silently dropped; handle it or discard explicitly with _ =", name)
+			sup.Reportf(call.Pos(), "error from %s is silently dropped; handle it or discard explicitly with _ =", name)
 		}
 	})
 

@@ -10,7 +10,9 @@
 // The rule: `==` and `!=` between two non-constant floating-point
 // operands is flagged inside the -packages scope. Comparing against a
 // constant (`if total == 0`) is a guard, not a tie decision, and stays
-// legal. _test.go files are exempt.
+// legal. _test.go files are NOT exempt: a test asserting exact equality
+// on a computed score breaks on any legitimate summation reorder;
+// deliberate bit-exactness assertions carry a reasoned //kwlint:ignore.
 package floatcompare
 
 import (
@@ -44,15 +46,14 @@ func init() {
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	sup := kwutil.NewSuppressor(pass, "floatcompare")
+	defer sup.Finish()
 	if !scope.InScope(pass) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
 	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
-		if kwutil.IsTestFile(pass.Fset, n.Pos()) {
-			return
-		}
 		be := n.(*ast.BinaryExpr)
 		if be.Op != token.EQL && be.Op != token.NEQ {
 			return
@@ -67,7 +68,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if x.Value != nil || y.Value != nil {
 			return
 		}
-		pass.Reportf(be.OpPos, "%s between two computed floats; score ties must use the tie-breaking rule (or an epsilon), not exact equality", be.Op)
+		sup.Reportf(be.OpPos, "%s between two computed floats; score ties must use the tie-breaking rule (or an epsilon), not exact equality", be.Op)
 	})
 
 	return nil, nil

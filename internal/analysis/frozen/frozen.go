@@ -1,0 +1,355 @@
+// Package frozen implements the kwlint analyzer that enforces
+// //kw:frozen-after(Method) annotations: once a type's freeze method has
+// run, the value is immutable, so the only code allowed to write its
+// fields is the freeze method itself and methods annotated //kw:builder
+// (the build-phase API whose documented contract is "call before
+// Freeze").
+//
+// searchsim's positional index established the pattern at runtime: Add
+// panics after Freeze (DESIGN.md §10). The analyzer moves the same
+// contract to compile time for every annotated type: a stray field write
+// in a query path is a report, not a latent panic. The analysis is
+// syntactic over field writes — assignments, increments, and deletes
+// through any selector chain rooted in the frozen type — with the same
+// constructor escape as lockguard: writes to a value the function itself
+// constructed are the build phase by definition.
+//
+// The annotation is exported as a fact on the type, so packages
+// importing a frozen type cannot mutate it either (they can never be
+// builder methods — Go methods live with their type).
+package frozen
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+
+	"contextrank/internal/analysis/kwutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "frozen",
+	Doc: "enforce //kw:frozen-after(Method) immutability\n\n" +
+		"Fields of a type annotated //kw:frozen-after(Freeze) may only be written inside Freeze itself, methods annotated //kw:builder, or functions that construct the value locally.",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*frozenFact)(nil)},
+	Run:       run,
+}
+
+// frozenFact records the freeze-method name on the annotated type.
+type frozenFact struct {
+	Method string
+}
+
+func (*frozenFact) AFact()           {}
+func (f *frozenFact) String() string { return "frozen-after(" + f.Method + ")" }
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	sup := kwutil.NewSuppressor(pass, "frozen")
+	kwutil.ReportMalformed(pass, "frozen", func(pos token.Pos, problem string) {
+		pass.Reportf(pos, "%s", problem)
+	})
+
+	frozenTypes := map[*types.TypeName]string{} // type -> freeze method
+	validPos := map[token.Pos]bool{}
+
+	// Collect //kw:frozen-after from type declarations. The directive may
+	// sit on the TypeSpec or, for a single-spec GenDecl, on the decl.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				docs := []*ast.CommentGroup{ts.Doc, ts.Comment}
+				if len(gd.Specs) == 1 {
+					docs = append(docs, gd.Doc)
+				}
+				for _, cg := range docs {
+					for _, d := range kwutil.DocDirectives(cg, "frozen-after") {
+						validPos[d.Pos] = true
+						tn, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+						if tn == nil {
+							continue
+						}
+						if !hasMethod(tn, d.Arg) {
+							pass.Reportf(d.Pos, "//kw:frozen-after(%s): type %s has no method %s", d.Arg, ts.Name.Name, d.Arg)
+							continue
+						}
+						frozenTypes[tn] = d.Arg
+						pass.ExportObjectFact(tn, &frozenFact{Method: d.Arg})
+					}
+				}
+			}
+		}
+	}
+
+	// Collect //kw:builder methods; validate they belong to frozen types.
+	builders := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			ds := kwutil.DocDirectives(fd.Doc, "builder")
+			if len(ds) == 0 {
+				continue
+			}
+			for _, d := range ds {
+				validPos[d.Pos] = true
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			recv := receiverTypeName(fn)
+			if recv == nil {
+				pass.Reportf(ds[0].Pos, "//kw:builder on a non-method: only methods of a //kw:frozen-after type can be builders")
+				continue
+			}
+			if _, isFrozen := frozenTypes[recv]; !isFrozen {
+				pass.Reportf(ds[0].Pos, "//kw:builder on a method of %s, which has no //kw:frozen-after annotation", recv.Name())
+				continue
+			}
+			builders[fn] = true
+		}
+	}
+
+	// Misplaced directives are dead annotations: report them.
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, st, _ := kwutil.ParseDirective(c)
+				if st != kwutil.DirectiveOK {
+					continue
+				}
+				if (d.Verb == "frozen-after" || d.Verb == "builder") && !validPos[c.Pos()] {
+					where := "a type declaration"
+					if d.Verb == "builder" {
+						where = "a method declaration"
+					}
+					pass.Reportf(c.Pos(), "misplaced //kw:%s: it only takes effect on %s", d.Verb, where)
+				}
+			}
+		}
+	}
+
+	// freezeOf resolves a named type to its freeze method, local or
+	// imported.
+	freezeOf := func(tn *types.TypeName) (string, bool) {
+		if m, ok := frozenTypes[tn]; ok {
+			return m, true
+		}
+		if tn.Pkg() != nil && tn.Pkg() != pass.Pkg {
+			var f frozenFact
+			if pass.ImportObjectFact(tn, &f) {
+				return f.Method, true
+			}
+		}
+		return "", false
+	}
+
+	// Check field writes in every function that is not an allowed
+	// mutation context.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if builders[fn] {
+				continue // the build-phase API may mutate freely
+			}
+			if recv := receiverTypeName(fn); recv != nil {
+				if m, ok := frozenTypes[recv]; ok && fn.Name() == m {
+					continue // the freeze method itself
+				}
+			}
+			checkWrites(pass, sup, fd, freezeOf)
+		}
+	}
+
+	sup.Finish()
+	return nil, nil
+}
+
+// checkWrites reports writes through selector chains rooted in frozen
+// types, excepting locally-constructed values.
+func checkWrites(pass *analysis.Pass, sup *kwutil.Suppressor, fd *ast.FuncDecl, freezeOf func(*types.TypeName) (string, bool)) {
+	info := pass.TypesInfo
+
+	constructed := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) || !isConstruction(info, rhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					constructed[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(target ast.Expr, pos token.Pos) {
+		tn, method := frozenPrefix(info, target, freezeOf)
+		if tn == nil {
+			return
+		}
+		if root := rootObject(info, target); root != nil && constructed[root] {
+			return
+		}
+		sup.Reportf(pos, "write to %s, frozen after %s(); mutate only in %s or a //kw:builder method", tn.Name(), method, method)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				report(lhs, lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			report(n.X, n.X.Pos())
+		case *ast.CallExpr:
+			// delete(frozen.m, k) and clear(frozen.s) mutate too.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+				if b, isB := info.ObjectOf(id).(*types.Builtin); isB && (b.Name() == "delete" || b.Name() == "clear") {
+					report(n.Args[0], n.Args[0].Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// frozenPrefix walks the selector/index chain of a write target and
+// returns the first frozen type it is rooted in, with its freeze method.
+func frozenPrefix(info *types.Info, e ast.Expr, freezeOf func(*types.TypeName) (string, bool)) (*types.TypeName, string) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if tn, m := frozenType(info, x.X, freezeOf); tn != nil {
+				return tn, m
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if tn, m := frozenType(info, x.X, freezeOf); tn != nil {
+				return tn, m
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// frozenType reports whether the expression's type (behind pointers) is
+// an annotated frozen type.
+func frozenType(info *types.Info, e ast.Expr, freezeOf func(*types.TypeName) (string, bool)) (*types.TypeName, string) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return nil, ""
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	if m, ok := freezeOf(named.Obj()); ok {
+		return named.Obj(), m
+	}
+	return nil, ""
+}
+
+// receiverTypeName returns the named type of a method's receiver, or nil
+// for plain functions.
+func receiverTypeName(fn *types.Func) *types.TypeName {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// hasMethod reports whether the named type declares a method with the
+// given name (value or pointer receiver).
+func hasMethod(tn *types.TypeName, name string) bool {
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isConstruction(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, isLit := ast.Unparen(x.X).(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, isB := info.ObjectOf(id).(*types.Builtin); isB && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}

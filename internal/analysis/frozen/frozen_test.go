@@ -1,0 +1,18 @@
+package frozen_test
+
+import (
+	"testing"
+
+	"contextrank/internal/analysis/atest"
+	"contextrank/internal/analysis/frozen"
+)
+
+func TestFrozen(t *testing.T) {
+	// frozenfix covers builder/freeze/constructor mutation contexts and
+	// the malformed/misplaced annotations; frozenfact/use proves the
+	// annotation binds importing packages through the exported fact.
+	atest.Run(t, "../testdata", frozen.Analyzer,
+		"frozenfix",
+		"frozenfact/use",
+	)
+}

@@ -1,0 +1,18 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"contextrank/internal/analysis/atest"
+	"contextrank/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	// hotpathfix holds one hot function per banned construct and per
+	// blessed idiom; hotfact/use proves may-allocate and exemption
+	// summaries cross package boundaries as facts.
+	atest.Run(t, "../testdata", hotpath.Analyzer,
+		"hotpathfix",
+		"hotfact/use",
+	)
+}

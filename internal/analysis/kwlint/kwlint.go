@@ -1,19 +1,28 @@
 // Package kwlint bundles the project's go/analysis suite: the analyzers
-// that mechanically enforce the reproduction's determinism and hygiene
-// contracts. See cmd/kwlint for the driver.
+// that mechanically enforce the reproduction's determinism, hygiene, and
+// annotation-driven contracts (DESIGN.md §9). See cmd/kwlint for the
+// driver.
 package kwlint
 
 import (
 	"golang.org/x/tools/go/analysis"
 
+	"contextrank/internal/analysis/ctxflow"
 	"contextrank/internal/analysis/determinism"
 	"contextrank/internal/analysis/errsink"
 	"contextrank/internal/analysis/floatcompare"
+	"contextrank/internal/analysis/frozen"
+	"contextrank/internal/analysis/hotpath"
+	"contextrank/internal/analysis/lockguard"
 	"contextrank/internal/analysis/orderedfanout"
+	"contextrank/internal/analysis/poolalias"
 	"contextrank/internal/analysis/seededrand"
 )
 
-// Analyzers returns the full kwlint suite in a stable order.
+// Analyzers returns the full kwlint suite in a stable order. The order
+// (and the names) must match kwutil.AnalyzerNames, which the ignore
+// validator and the CI name-sync test treat as the source of truth;
+// kwlint_test.go asserts the two stay aligned.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
@@ -21,5 +30,10 @@ func Analyzers() []*analysis.Analyzer {
 		seededrand.Analyzer,
 		floatcompare.Analyzer,
 		errsink.Analyzer,
+		hotpath.Analyzer,
+		poolalias.Analyzer,
+		lockguard.Analyzer,
+		frozen.Analyzer,
+		ctxflow.Analyzer,
 	}
 }

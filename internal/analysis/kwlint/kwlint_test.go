@@ -4,19 +4,22 @@ import (
 	"testing"
 
 	"contextrank/internal/analysis/kwlint"
+	"contextrank/internal/analysis/kwutil"
 )
 
-// TestSuite pins the analyzer roster: CI runs exactly these, in this
-// order, and each must be valid per the go/analysis contract.
+// TestSuite pins the analyzer roster against kwutil.AnalyzerNames, the
+// shared source of truth: CI runs exactly these, in this order, the
+// ignore validator accepts exactly these names, and each analyzer must
+// be valid per the go/analysis contract.
 func TestSuite(t *testing.T) {
-	want := []string{"determinism", "orderedfanout", "seededrand", "floatcompare", "errsink"}
+	want := kwutil.AnalyzerNames
 	got := kwlint.Analyzers()
 	if len(got) != len(want) {
-		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+		t.Fatalf("got %d analyzers, want %d (kwutil.AnalyzerNames)", len(got), len(want))
 	}
 	for i, a := range got {
 		if a.Name != want[i] {
-			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
+			t.Errorf("analyzer %d = %s, want %s (kwutil.AnalyzerNames order)", i, a.Name, want[i])
 		}
 		if a.Doc == "" || a.Run == nil {
 			t.Errorf("analyzer %s is missing Doc or Run", a.Name)

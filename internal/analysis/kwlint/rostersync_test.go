@@ -1,0 +1,65 @@
+package kwlint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"contextrank/internal/analysis/kwlint"
+)
+
+// TestSuiteRosterInSync keeps the two human-facing copies of the
+// analyzer roster — the CI step name and the Makefile lint comment —
+// honest against the real suite. Both documents enumerate the analyzers
+// so a reader learns the roster without opening the code; this test is
+// the price of that duplication: add an analyzer and CI fails until the
+// prose catches up.
+func TestSuiteRosterInSync(t *testing.T) {
+	names := make([]string, 0, len(kwlint.Analyzers()))
+	for _, a := range kwlint.Analyzers() {
+		names = append(names, a.Name)
+	}
+
+	t.Run("ci.yml", func(t *testing.T) {
+		data := readRepoFile(t, ".github/workflows/ci.yml")
+		// The step name states the roster verbatim, in suite order.
+		want := "kwlint (" + strings.Join(names, ", ") + ")"
+		if !strings.Contains(data, want) {
+			t.Errorf("ci.yml kwlint step name is out of date: no step named %q", want)
+		}
+		// And kwlint must be its own job, not a step buried elsewhere.
+		if !strings.Contains(data, "\n  kwlint:\n") {
+			t.Errorf("ci.yml has no dedicated kwlint job")
+		}
+	})
+
+	t.Run("Makefile", func(t *testing.T) {
+		data := readRepoFile(t, "Makefile")
+		i := strings.Index(data, "\nlint:")
+		if i < 0 {
+			t.Fatalf("Makefile has no lint target")
+		}
+		// The roster lives in the comment block directly above lint:.
+		comment := data[:i]
+		if j := strings.LastIndex(comment, "\n\n"); j >= 0 {
+			comment = comment[j:]
+		}
+		for _, n := range names {
+			if !strings.Contains(comment, n) {
+				t.Errorf("Makefile lint comment does not mention analyzer %q", n)
+			}
+		}
+	})
+}
+
+// readRepoFile loads a file by repo-root-relative path; the test binary
+// runs in internal/analysis/kwlint, three directories down.
+func readRepoFile(t *testing.T, rel string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "..", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

@@ -1,0 +1,339 @@
+// Package lockguard implements the kwlint analyzer that enforces
+// //kw:guardedby annotations: a struct field carrying
+//
+//	//kw:guardedby(mu)
+//
+// (in its doc or trailing comment, with mu a sibling field of a sync
+// mutex type) may only be accessed in functions that visibly take that
+// mutex on the same object.
+//
+// The check is deliberately flow-insensitive and intra-procedural
+// (DESIGN.md §7's concurrency contracts are structural, not temporal):
+// an access to x.field is legal if, anywhere in the same function,
+// x.mu.Lock() or x.mu.RLock() is called with the same root variable —
+// ordering and unlock pairing are the race detector's job; the analyzer
+// catches the access paths that never touch the mutex at all. Two
+// structural escape hatches match how the repo builds these structs:
+//
+//   - constructor escape: accesses rooted at a variable the function
+//     itself constructed (composite literal or new) need no lock — the
+//     object is not yet shared;
+//   - //kw:holds(mu) on a function declares "my caller holds mu", for
+//     internal helpers called under the lock.
+//
+// Guard annotations are exported as facts on the field objects, so
+// cross-package accesses to exported guarded fields are held to the same
+// contract.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+
+	"contextrank/internal/analysis/kwutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "enforce //kw:guardedby(mu) field annotations\n\n" +
+		"A field annotated //kw:guardedby(mu) may only be accessed in functions that call <root>.mu.Lock/RLock on the same root object, construct the object locally, or declare //kw:holds(mu).",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*guardedFact)(nil)},
+	Run:       run,
+}
+
+// guardedFact records, on a field object, the name of the sibling mutex
+// field that guards it.
+type guardedFact struct {
+	Mutex string
+}
+
+func (*guardedFact) AFact()           {}
+func (f *guardedFact) String() string { return "guardedby(" + f.Mutex + ")" }
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	sup := kwutil.NewSuppressor(pass, "lockguard")
+	kwutil.ReportMalformed(pass, "lockguard", func(pos token.Pos, problem string) {
+		pass.Reportf(pos, "%s", problem)
+	})
+
+	guarded := map[*types.Var]string{} // field -> sibling mutex name
+	validPos := map[token.Pos]bool{}   // comment positions where guardedby/holds belong
+
+	// Collect //kw:guardedby annotations from struct fields.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]*types.Var{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						fieldNames[name.Name] = v
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					for _, d := range allDirectives(cg, "guardedby") {
+						validPos[d.Pos] = true
+						mu, ok := fieldNames[d.Arg]
+						if !ok {
+							pass.Reportf(d.Pos, "//kw:guardedby(%s): no sibling field named %s in this struct", d.Arg, d.Arg)
+							continue
+						}
+						if !isMutex(mu.Type()) {
+							pass.Reportf(d.Pos, "//kw:guardedby(%s): sibling field %s is not a sync.Mutex or sync.RWMutex", d.Arg, d.Arg)
+							continue
+						}
+						for _, name := range field.Names {
+							if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+								guarded[v] = d.Arg
+								pass.ExportObjectFact(v, &guardedFact{Mutex: d.Arg})
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// //kw:holds is valid on function declarations.
+	holds := map[*ast.FuncDecl]map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, d := range allDirectives(fd.Doc, "holds") {
+				validPos[d.Pos] = true
+				if holds[fd] == nil {
+					holds[fd] = map[string]bool{}
+				}
+				holds[fd][d.Arg] = true
+			}
+		}
+	}
+
+	// Anything else carrying these verbs is silently dead: report it.
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, st, _ := kwutil.ParseDirective(c)
+				if st != kwutil.DirectiveOK {
+					continue
+				}
+				if (d.Verb == "guardedby" || d.Verb == "holds") && !validPos[c.Pos()] {
+					where := "a struct field"
+					if d.Verb == "holds" {
+						where = "a function declaration"
+					}
+					pass.Reportf(c.Pos(), "misplaced //kw:%s: it only takes effect on %s", d.Verb, where)
+				}
+			}
+		}
+	}
+
+	// lookupGuard resolves a field object to its guard, local or imported.
+	lookupGuard := func(v *types.Var) (string, bool) {
+		if mu, ok := guarded[v]; ok {
+			return mu, true
+		}
+		if v.Pkg() != nil && v.Pkg() != pass.Pkg {
+			var f guardedFact
+			if pass.ImportObjectFact(v, &f) {
+				return f.Mutex, true
+			}
+		}
+		return "", false
+	}
+
+	// Check every function body.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, sup, fd, holds[fd], lookupGuard)
+		}
+	}
+
+	sup.Finish()
+	return nil, nil
+}
+
+// checkFunc verifies guarded-field accesses in one function.
+func checkFunc(pass *analysis.Pass, sup *kwutil.Suppressor, fd *ast.FuncDecl, held map[string]bool, lookupGuard func(*types.Var) (string, bool)) {
+	info := pass.TypesInfo
+
+	type lockKey struct {
+		root types.Object
+		mu   string
+	}
+	locked := map[lockKey]bool{}
+	constructed := map[types.Object]bool{}
+
+	// Pass 1: collect lock calls and locally-constructed roots anywhere
+	// in the function (flow-insensitive by design).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// <base>.<mu>.Lock() / RLock()
+			outer, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || (outer.Sel.Name != "Lock" && outer.Sel.Name != "RLock") {
+				return true
+			}
+			if !isMutexExpr(info, outer.X) {
+				return true
+			}
+			switch mu := ast.Unparen(outer.X).(type) {
+			case *ast.SelectorExpr:
+				if r := rootObject(info, mu.X); r != nil {
+					locked[lockKey{r, mu.Sel.Name}] = true
+				}
+			case *ast.Ident:
+				// A bare mutex variable: lock by name with no root.
+				locked[lockKey{nil, mu.Name}] = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if !isConstruction(info, rhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						constructed[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: check guarded accesses.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return true
+		}
+		mu, isGuarded := lookupGuard(v)
+		if !isGuarded {
+			return true
+		}
+		if held[mu] {
+			return true
+		}
+		root := rootObject(info, sel.X)
+		if root != nil && constructed[root] {
+			return true
+		}
+		if locked[lockKey{root, mu}] || locked[lockKey{nil, mu}] {
+			return true
+		}
+		sup.Reportf(sel.Sel.Pos(), "access to %s, guarded by %s, without %s.%s.Lock/RLock in this function; lock it, construct locally, or annotate //kw:holds(%s)", v.Name(), mu, exprString(sel.X), mu, mu)
+		return true
+	})
+}
+
+// allDirectives returns OK-parsed directives with the given verb from a
+// comment group.
+func allDirectives(cg *ast.CommentGroup, verb string) []kwutil.Directive {
+	return kwutil.DocDirectives(cg, verb)
+}
+
+// isMutex reports whether t (possibly behind a pointer) is sync.Mutex or
+// sync.RWMutex.
+func isMutex(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return kwutil.NamedIs(named, "sync", "Mutex") || kwutil.NamedIs(named, "sync", "RWMutex")
+}
+
+func isMutexExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.Type != nil && isMutex(tv.Type)
+}
+
+// rootObject unwinds selectors, indexing, dereferences, and address-of
+// down to the base identifier's object ("s" in &s.shards[i].mu), or nil
+// when the base is not a simple variable.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isConstruction recognizes expressions that produce a not-yet-shared
+// object: composite literals (optionally addressed) and new(T).
+func isConstruction(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, isLit := ast.Unparen(x.X).(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, isB := info.ObjectOf(id).(*types.Builtin); isB && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprString renders a short path for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[…]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.UnaryExpr:
+		return exprString(x.X)
+	}
+	return "x"
+}

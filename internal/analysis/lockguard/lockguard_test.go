@@ -1,0 +1,18 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"contextrank/internal/analysis/atest"
+	"contextrank/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	// lockguardfix exercises locked/unlocked access, constructor escape,
+	// //kw:holds, wrong-root detection, and malformed guards;
+	// lockfact/use proves the guard fact crosses package boundaries.
+	atest.Run(t, "../testdata", lockguard.Analyzer,
+		"lockguardfix",
+		"lockfact/use",
+	)
+}

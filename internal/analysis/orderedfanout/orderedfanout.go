@@ -22,7 +22,9 @@
 //
 // Index-addressed writes (out[r.idx] = r) and integer counters are fine
 // and not flagged; par.Map produces the former shape. _test.go files are
-// exempt.
+// NOT exempt — a test collecting worker results in arrival order is
+// flaky for the same reason production code would be; suppress a
+// deliberate case with a reasoned //kwlint:ignore.
 package orderedfanout
 
 import (
@@ -52,15 +54,14 @@ func init() {
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	sup := kwutil.NewSuppressor(pass, "orderedfanout")
+	defer sup.Finish()
 	if !scope.InScope(pass) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
-		if kwutil.IsTestFile(pass.Fset, n.Pos()) {
-			return
-		}
 		var body *ast.BlockStmt
 		switch fn := n.(type) {
 		case *ast.FuncDecl:
@@ -69,7 +70,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			body = fn.Body
 		}
 		if body != nil {
-			checkChannelCollect(pass, body)
+			checkChannelCollect(pass, sup, body)
 		}
 	})
 
@@ -78,7 +79,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 
 // checkChannelCollect walks one function body and flags arrival-order
 // collection inside `for … := range ch` loops.
-func checkChannelCollect(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkChannelCollect(pass *analysis.Pass, sup *kwutil.Suppressor, body *ast.BlockStmt) {
 	returned := map[types.Object]bool{}
 	sorted := map[types.Object]bool{}
 
@@ -121,9 +122,9 @@ func checkChannelCollect(pass *analysis.Pass, body *ast.BlockStmt) {
 			}
 			switch assign.Tok.String() {
 			case "=", ":=":
-				checkAppend(pass, assign, returned, sorted)
+				checkAppend(pass, sup, assign, returned, sorted)
 			case "+=", "-=", "*=", "/=":
-				checkFloatAccum(pass, assign)
+				checkFloatAccum(pass, sup, assign)
 			}
 			return true
 		})
@@ -133,7 +134,7 @@ func checkChannelCollect(pass *analysis.Pass, body *ast.BlockStmt) {
 
 // checkAppend flags `s = append(s, …)` when s is returned without a sort:
 // the caller then sees the results in channel-arrival order.
-func checkAppend(pass *analysis.Pass, assign *ast.AssignStmt, returned, sorted map[types.Object]bool) {
+func checkAppend(pass *analysis.Pass, sup *kwutil.Suppressor, assign *ast.AssignStmt, returned, sorted map[types.Object]bool) {
 	for i, rhs := range assign.Rhs {
 		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
 		if !ok || len(assign.Lhs) <= i {
@@ -148,7 +149,7 @@ func checkAppend(pass *analysis.Pass, assign *ast.AssignStmt, returned, sorted m
 		}
 		obj := pass.TypesInfo.ObjectOf(lhs)
 		if obj != nil && returned[obj] && !sorted[obj] {
-			pass.Reportf(assign.Pos(), "%s is appended to while ranging over a channel and returned without a sort; results arrive in scheduling order — collect by input index (par.Map) instead", lhs.Name)
+			sup.Reportf(assign.Pos(), "%s is appended to while ranging over a channel and returned without a sort; results arrive in scheduling order — collect by input index (par.Map) instead", lhs.Name)
 		}
 	}
 }
@@ -156,7 +157,7 @@ func checkAppend(pass *analysis.Pass, assign *ast.AssignStmt, returned, sorted m
 // checkFloatAccum flags compound float accumulation into a plain variable:
 // FP addition is not associative, so the sum depends on arrival order even
 // when every contribution is eventually included.
-func checkFloatAccum(pass *analysis.Pass, assign *ast.AssignStmt) {
+func checkFloatAccum(pass *analysis.Pass, sup *kwutil.Suppressor, assign *ast.AssignStmt) {
 	for _, lhs := range assign.Lhs {
 		id, ok := ast.Unparen(lhs).(*ast.Ident)
 		if !ok {
@@ -167,7 +168,7 @@ func checkFloatAccum(pass *analysis.Pass, assign *ast.AssignStmt) {
 			continue
 		}
 		if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsFloat != 0 {
-			pass.Reportf(assign.Pos(), "floating-point accumulation into %s while ranging over a channel depends on arrival order; compute per-item partials with par.Map and merge them in index order", id.Name)
+			sup.Reportf(assign.Pos(), "floating-point accumulation into %s while ranging over a channel depends on arrival order; compute per-item partials with par.Map and merge them in index order", id.Name)
 		}
 	}
 }

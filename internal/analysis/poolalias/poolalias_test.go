@@ -1,0 +1,18 @@
+package poolalias_test
+
+import (
+	"testing"
+
+	"contextrank/internal/analysis/atest"
+	"contextrank/internal/analysis/poolalias"
+)
+
+func TestPoolalias(t *testing.T) {
+	// poolaliasfix covers the taint walk end to end (leaks, accessors,
+	// copies, //kw:fresh, suppression); poolfact/use proves accessor and
+	// freshness facts cross package boundaries.
+	atest.Run(t, "../testdata", poolalias.Analyzer,
+		"poolaliasfix",
+		"poolfact/use",
+	)
+}

@@ -12,7 +12,9 @@
 // The rule: the seed argument of rand.NewSource / rand.NewPCG /
 // rand.NewChaCha8 must not be a compile-time constant (including a local
 // variable that is only ever assigned a constant) and must not be derived
-// from time.Now. _test.go files are exempt — tests pin seeds by design.
+// from time.Now. In _test.go files only the constant branch is exempt —
+// tests pin seeds by design — but a time-derived seed makes a test
+// unreproducible and is flagged everywhere.
 package seededrand
 
 import (
@@ -39,6 +41,8 @@ var Analyzer = &analysis.Analyzer{
 var seedConstructors = map[string]bool{"NewSource": true, "NewPCG": true, "NewChaCha8": true}
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	sup := kwutil.NewSuppressor(pass, "seededrand")
+	defer sup.Finish()
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
 	// funcStack tracks the enclosing function bodies so constant
@@ -55,7 +59,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			}
 			return true
 		}
-		if !push || kwutil.IsTestFile(pass.Fset, n.Pos()) {
+		if !push {
 			return true
 		}
 		call := n.(*ast.CallExpr)
@@ -67,12 +71,17 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if len(funcStack) > 0 {
 			encl = funcStack[len(funcStack)-1]
 		}
+		inTest := kwutil.IsTestFile(pass.Fset, n.Pos())
 		for _, arg := range call.Args {
 			switch {
 			case isEffectivelyConstant(pass.TypesInfo, arg, encl):
-				pass.Reportf(arg.Pos(), "hard-coded seed for rand.%s; inject the seed via a parameter, config field, or flag", name)
+				// Tests pin seeds by design: the constant branch only
+				// applies to production files.
+				if !inTest {
+					sup.Reportf(arg.Pos(), "hard-coded seed for rand.%s; inject the seed via a parameter, config field, or flag", name)
+				}
 			case kwutil.ContainsTimeNow(pass.TypesInfo, arg):
-				pass.Reportf(arg.Pos(), "time-derived seed for rand.%s breaks reproducibility; inject a fixed seed via a parameter, config field, or flag", name)
+				sup.Reportf(arg.Pos(), "time-derived seed for rand.%s breaks reproducibility; inject a fixed seed via a parameter, config field, or flag", name)
 			}
 		}
 		return true

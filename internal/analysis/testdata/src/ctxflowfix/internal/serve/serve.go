@@ -1,0 +1,91 @@
+// Fixture for the ctxflow analyzer, inside the scope (path suffix
+// internal/serve): request-path code must thread ctx and clean up
+// timers.
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// Handle threads the caller's context: legal.
+func Handle(ctx context.Context, d time.Duration) error {
+	cctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	return work(cctx)
+}
+
+// Detached mints a fresh root mid-request: the bug.
+func Detached(d time.Duration) error {
+	ctx := context.Background() // want `context.Background\(\) detaches the request path`
+	return work(ctx)
+}
+
+// Sketch uses the other spelling.
+func Sketch() error {
+	return work(context.TODO()) // want `context.TODO\(\) detaches the request path`
+}
+
+// Rooted is the process-lifetime root, documented and accepted.
+func Rooted() context.Context {
+	return context.Background() //kwlint:ignore ctxflow — process-lifetime root for the listener, established once at startup
+}
+
+// Wait leaks a timer per call.
+func Wait(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second): // want `time.After leaks its timer`
+		return 0
+	}
+}
+
+// WaitClean stops its timer on every path: legal.
+func WaitClean(ch chan int) int {
+	timer := time.NewTimer(time.Second)
+	defer timer.Stop()
+	select {
+	case v := <-ch:
+		return v
+	case <-timer.C:
+		return 0
+	}
+}
+
+// Forgetful binds the timer but never stops it.
+func Forgetful(ch chan int) int {
+	timer := time.NewTimer(time.Second) // want `time.NewTimer without a Stop call`
+	select {
+	case v := <-ch:
+		return v
+	case <-timer.C:
+		return 0
+	}
+}
+
+// Unbound has no handle to stop at all.
+func Unbound(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.NewTimer(time.Second).C: // want `time.NewTimer used without binding its result`
+		return 0
+	}
+}
+
+// Ticker gets the same treatment.
+func Ticker(n int) int {
+	t := time.NewTicker(time.Millisecond) // want `time.NewTicker without a Stop call`
+	total := 0
+	for i := 0; i < n; i++ {
+		<-t.C
+		total++
+	}
+	return total
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

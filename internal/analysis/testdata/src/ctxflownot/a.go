@@ -1,0 +1,21 @@
+// Out-of-scope fixture for the ctxflow analyzer: the same constructs
+// outside internal/serve and internal/resilience are not reported.
+package ctxflownot
+
+import (
+	"context"
+	"time"
+)
+
+func Root() context.Context {
+	return context.Background()
+}
+
+func Wait(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second):
+		return 0
+	}
+}

@@ -1,0 +1,18 @@
+// Dependency half of the frozen fact fixture: the frozen-after
+// annotation must bind importing packages too.
+package lib
+
+//kw:frozen-after(Freeze)
+type Pack struct {
+	IDs    []int
+	Sealed bool
+}
+
+//kw:builder
+func (p *Pack) Add(id int) {
+	p.IDs = append(p.IDs, id)
+}
+
+func (p *Pack) Freeze() {
+	p.Sealed = true
+}

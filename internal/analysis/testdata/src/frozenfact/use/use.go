@@ -1,0 +1,20 @@
+// Importing half of the frozen fact fixture: no package can mutate a
+// frozen type's fields — methods (and thus builders) cannot exist here.
+package use
+
+import "frozenfact/lib"
+
+func Tamper(p *lib.Pack) {
+	p.Sealed = false // want `write to Pack, frozen after Freeze\(\)`
+}
+
+func Read(p *lib.Pack) int {
+	return len(p.IDs)
+}
+
+func Build() *lib.Pack {
+	p := &lib.Pack{}
+	p.Add(1)
+	p.Freeze()
+	return p
+}

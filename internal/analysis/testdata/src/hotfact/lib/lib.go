@@ -1,0 +1,27 @@
+// Dependency half of the fact-propagation fixture: the analyzer runs
+// here first and exports may-allocate / exempt summaries that the
+// importing fixture (hotfact/use) consumes.
+package lib
+
+import "strings"
+
+// Render allocates; its summary fact must travel to importing packages.
+func Render(parts []string) string {
+	return strings.Join(parts, " ")
+}
+
+// Sum is allocation-free: no fact, treated as clean.
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Trace is cold by contract; the exemption fact travels too.
+//
+//kw:coldpath
+func Trace(parts []string) string {
+	return strings.Join(parts, "+")
+}

@@ -1,0 +1,14 @@
+// Importing half of the fact-propagation fixture: violations in a
+// dependency package surface at the call site here, through facts alone.
+package use
+
+import "hotfact/lib"
+
+//kw:hotpath
+func Hot(parts []string, xs []int) int {
+	if len(parts) > 1 {
+		_ = lib.Render(parts) // want `hot path calls lib.Render, which may allocate`
+	}
+	_ = lib.Trace(parts) // //kw:coldpath fact: accepted
+	return lib.Sum(xs)   // clean summary: accepted
+}

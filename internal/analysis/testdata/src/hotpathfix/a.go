@@ -1,0 +1,209 @@
+// Fixture for the hotpath analyzer: each hot function demonstrates one
+// banned construct (true positives) or one blessed idiom (true
+// negatives).
+package hotpathfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type item struct {
+	key   string
+	score float64
+}
+
+// Score appends into a caller-provided buffer: param-derived slices are
+// the prescribed idiom and pass.
+//
+//kw:hotpath
+func Score(items []item, out []float64) []float64 {
+	out = out[:0]
+	for _, it := range items {
+		out = append(out, it.score)
+	}
+	return out
+}
+
+//kw:hotpath
+func Format(items []item) string {
+	return fmt.Sprintf("%d items", len(items)) // want `hot path calls fmt.Sprintf, which may allocate`
+}
+
+//kw:hotpath
+func Keys(m map[string]int) []string {
+	var keys []string // want `append growth on keys, declared without capacity`
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+//kw:hotpath
+func KeysPrealloc(m map[string]int, keys []string) []string {
+	keys = keys[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+//kw:hotpath
+func GrowLiteral(items []item) []string {
+	keys := []string{} // want `append growth on keys, declared without capacity`
+	for _, it := range items {
+		keys = append(keys, it.key)
+	}
+	return keys
+}
+
+// Lookup indexes a map with a converted key: the compiler elides the
+// copy, so this passes.
+//
+//kw:hotpath
+func Lookup(m map[string]int, b []byte) int {
+	return m[string(b)]
+}
+
+//kw:hotpath
+func CopyString(b []byte) string {
+	return string(b) // want `string\(\[\]byte\) conversion copies on the hot path`
+}
+
+//kw:hotpath
+func CopyBytes(s string) []byte {
+	return []byte(s) // want `\[\]byte\(string\) conversion copies on the hot path`
+}
+
+//kw:hotpath
+func Tally(items []item) int {
+	seen := make(map[string]bool) // want `make\(map\) allocates on the hot path`
+	for _, it := range items {
+		seen[it.key] = true
+	}
+	return len(seen)
+}
+
+// TallyPooled receives its scratch map from the caller: passes.
+//
+//kw:hotpath
+func TallyPooled(items []item, seen map[string]bool) int {
+	for _, it := range items {
+		seen[it.key] = true
+	}
+	return len(seen)
+}
+
+//kw:hotpath
+func Literal() []int {
+	return []int{1, 2, 3} // want `slice literal allocates on the hot path`
+}
+
+//kw:hotpath
+func Escape() *item {
+	return &item{key: "x"} // want `&composite literal escapes to the heap on the hot path`
+}
+
+//kw:hotpath
+func NewT() *item {
+	return new(item) // want `new\(T\) allocates on the hot path`
+}
+
+// Value composite literals stay on the stack: passes.
+//
+//kw:hotpath
+func Value() item {
+	return item{key: "x"}
+}
+
+// helper is not annotated, but the hot caller's contract extends to it
+// transitively through the may-allocate summary.
+func helper(items []item) string {
+	return strings.Join([]string{items[0].key}, ",")
+}
+
+//kw:hotpath
+func Eval(items []item) string {
+	return helper(items) // want `hot path calls helper, which may allocate`
+}
+
+// slowPath is declared off the hot path: calls to it are accepted.
+//
+//kw:coldpath
+func slowPath(items []item) string {
+	return fmt.Sprintf("%v", items)
+}
+
+//kw:hotpath
+func WithFallback(items []item) string {
+	if len(items) == 0 {
+		return slowPath(items)
+	}
+	return ""
+}
+
+// Rank sorts with a capturing closure: the documented single bounded
+// allocation, exempt.
+//
+//kw:hotpath
+func Rank(items []item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].score > items[j].score })
+}
+
+// RankDirty's comparison closure runs hot even though the closure itself
+// is exempt: violations inside its body still count.
+//
+//kw:hotpath
+func RankDirty(items []item) {
+	sort.Slice(items, func(i, j int) bool {
+		return fmt.Sprint(items[i].key) > items[j].key // want `hot path calls fmt.Sprint, which may allocate`
+	})
+}
+
+var sink func() float64
+
+//kw:hotpath
+func Close(n float64) {
+	sink = func() float64 { return n } // want `closure capturing n allocates on the hot path`
+}
+
+func consume(v interface{}) {}
+
+//kw:hotpath
+func Box(it item) {
+	consume(it) // want `interface boxing of a non-pointer value allocates on the hot path`
+}
+
+// BoxPtr passes a pointer: fits the interface word, no allocation.
+//
+//kw:hotpath
+func BoxPtr(it *item) {
+	consume(it)
+}
+
+// Bail panics on the failure path: panic arguments may format freely.
+//
+//kw:hotpath
+func Bail(items []item) {
+	if len(items) == 0 {
+		panic(fmt.Sprintf("empty input"))
+	}
+}
+
+// Ignored accepts one documented allocation into the benchmark budget.
+//
+//kw:hotpath
+func Ignored(items []item) string {
+	return fmt.Sprintf("%d", len(items)) //kwlint:ignore hotpath — documented one-off format inside the allocs/op budget
+}
+
+func noViolations() {} //kwlint:ignore hotpath — stale // want `unused //kwlint:ignore for hotpath`
+
+//kw:hotpath(x) // want `//kw:hotpath takes no argument`
+func badDirective() {}
+
+func misplaced() {
+	//kw:hotpath // want `misplaced //kw:hotpath`
+	_ = 0
+}

@@ -1,0 +1,17 @@
+// Suite-owner fixture: determinism is AnalyzerNames[0], so it claims the
+// cross-cutting annotation diagnostics — unknown //kw: verbs and
+// malformed //kwlint:ignore directives — exactly once per suite run.
+package clicksim
+
+// A typo'd verb must be a diagnostic, never a silently-disabled contract.
+//
+//kw:hotpth // want `unknown //kw: verb "hotpth"`
+func typoedContract() {}
+
+func ignoreUnknownTarget() int {
+	return 1 //kwlint:ignore hotpth — typo'd analyzer name // want `malformed //kwlint:ignore`
+}
+
+func ignoreMissingReason() int {
+	return 1 /* want `//kwlint:ignore determinism is missing its reason` */ //kwlint:ignore determinism
+}

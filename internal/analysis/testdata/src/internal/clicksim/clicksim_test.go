@@ -1,0 +1,22 @@
+// Test files are no longer exempt from the determinism analyzer: a
+// wall-clock read or a global-rand draw makes a test flaky in exactly
+// the way it would make the pipeline nondeterministic. Deliberate
+// exceptions document themselves with a reasoned //kwlint:ignore.
+package clicksim
+
+import "time"
+
+func stampInTest() int64 {
+	return time.Now().Unix() // want `time.Now reads the wall clock`
+}
+
+// A reasoned ignore on the offending line suppresses the diagnostic.
+func benchWindow() time.Time {
+	return time.Now() //kwlint:ignore determinism — this helper measures real elapsed time on purpose
+}
+
+// An ignore that suppresses nothing is stale armor and is itself
+// reported (at Finish, on the directive's line).
+func cleanHelper() int {
+	return 1 /* want `unused //kwlint:ignore for determinism` */ //kwlint:ignore determinism — demo of a stale suppression
+}

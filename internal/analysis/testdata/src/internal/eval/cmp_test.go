@@ -1,0 +1,12 @@
+// Test files are no longer exempt from floatcompare: a test asserting
+// exact equality on a computed score breaks on any legitimate summation
+// reorder. Deliberate bit-exactness assertions carry a reasoned ignore.
+package eval
+
+func assertTie(a, b float64) bool {
+	return a == b // want `== between two computed floats`
+}
+
+func assertBitExact(got, golden float64) bool {
+	return got == golden //kwlint:ignore floatcompare — golden-file test asserts bit-exact replay by design
+}

@@ -1,0 +1,18 @@
+// Test files are no longer exempt from errsink: a test helper that
+// drops a write error hides the same truncation bugs in the fixtures
+// it builds.
+package serve
+
+import (
+	"io"
+	"strings"
+)
+
+func buildFixtureBody(w io.Writer) {
+	io.Copy(w, strings.NewReader("body")) // want `error from io.Copy is silently dropped`
+}
+
+func buildFixtureBodyChecked(w io.Writer) error {
+	_, err := io.Copy(w, strings.NewReader("body"))
+	return err
+}

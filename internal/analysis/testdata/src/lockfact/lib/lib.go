@@ -1,0 +1,11 @@
+// Dependency half of the lockguard fact fixture: a guarded exported
+// field whose contract must hold for importing packages too.
+package lib
+
+import "sync"
+
+type Registry struct {
+	Mu sync.Mutex
+	//kw:guardedby(Mu)
+	Items map[string]int
+}

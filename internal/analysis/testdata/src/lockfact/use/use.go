@@ -1,0 +1,15 @@
+// Importing half of the lockguard fact fixture: the guard annotation
+// travels as a fact on the field object.
+package use
+
+import "lockfact/lib"
+
+func Racy(r *lib.Registry, k string) int {
+	return r.Items[k] // want `access to Items, guarded by Mu`
+}
+
+func Safe(r *lib.Registry, k string) int {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return r.Items[k]
+}

@@ -1,0 +1,110 @@
+// Fixture for the poolalias analyzer: pooled scratch must not alias
+// returned values.
+package poolaliasfix
+
+import "sync"
+
+type scratch struct {
+	hits []int
+	ids  []string
+}
+
+var pool = sync.Pool{New: func() interface{} { return &scratch{} }}
+
+// getScratch returns the pooled object whole: the accessor pattern,
+// recorded as a fact, not a violation.
+func getScratch() *scratch {
+	sc := pool.Get().(*scratch)
+	sc.hits = sc.hits[:0]
+	return sc
+}
+
+func putScratch(sc *scratch) { pool.Put(sc) }
+
+// LeakField returns a projection of the pooled object: the bug.
+func LeakField() []int {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	sc.hits = append(sc.hits, 1)
+	return sc.hits // want `returned value aliases pooled scratch`
+}
+
+// LeakViaAccessor gets its scratch through the accessor; the taint
+// follows the fact.
+func LeakViaAccessor() []int {
+	sc := getScratch()
+	defer putScratch(sc)
+	return sc.hits // want `returned value aliases pooled scratch`
+}
+
+// LeakSlice aliases through a slice expression.
+func LeakSlice() []int {
+	sc := getScratch()
+	defer putScratch(sc)
+	return sc.hits[:0] // want `returned value aliases pooled scratch`
+}
+
+// LeakDerivedCall returns the result of a call that was fed scratch:
+// assumed to alias it.
+func LeakDerivedCall() []int {
+	sc := getScratch()
+	defer putScratch(sc)
+	return view(sc) // want `returned value aliases pooled scratch`
+}
+
+// view returns an alias of its argument — legal in itself: parameters
+// are the caller's responsibility, so this function is clean.
+func view(sc *scratch) []int {
+	return sc.hits
+}
+
+// CopyOut copies scratch contents into fresh memory before returning:
+// the prescribed fix. append into an untainted destination copies the
+// elements out.
+func CopyOut() []int {
+	sc := getScratch()
+	defer putScratch(sc)
+	out := make([]int, 0, len(sc.hits))
+	out = append(out, sc.hits...)
+	return out
+}
+
+// build produces results straight from pooled state but declares — and
+// its body honors — the freshness contract.
+//
+//kw:fresh
+func build(sc *scratch) []int {
+	out := make([]int, len(sc.hits))
+	copy(out, sc.hits)
+	return out
+}
+
+// FreshProducer trusts the //kw:fresh annotation on build.
+func FreshProducer() []int {
+	sc := getScratch()
+	defer putScratch(sc)
+	return build(sc)
+}
+
+// CountOnly returns a basic value: cannot alias.
+func CountOnly() int {
+	sc := getScratch()
+	defer putScratch(sc)
+	return len(sc.hits)
+}
+
+// Suppressed documents a deliberate exception.
+func Suppressed() []int {
+	sc := getScratch()
+	return sc.hits //kwlint:ignore poolalias — ownership transferred, caller puts the scratch back
+}
+
+type hasFresh struct{}
+
+//kw:fresh // want `misplaced //kw:fresh`
+var notAFunc int
+
+//kw:fresh(x) // want `//kw:fresh takes no argument`
+func badFreshArg() {}
+
+var _ = hasFresh{}

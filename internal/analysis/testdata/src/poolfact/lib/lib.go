@@ -1,0 +1,27 @@
+// Dependency half of the poolalias fact fixture: exports an accessor
+// (pooledFact) and a fresh producer (freshFact).
+package lib
+
+import "sync"
+
+type Scratch struct {
+	Hits []int
+}
+
+var pool = sync.Pool{New: func() interface{} { return &Scratch{} }}
+
+// Rent hands out the pooled object whole: accessor, fact exported.
+func Rent() *Scratch {
+	return pool.Get().(*Scratch)
+}
+
+func Return(sc *Scratch) { pool.Put(sc) }
+
+// Snapshot copies before returning and says so.
+//
+//kw:fresh
+func Snapshot(sc *Scratch) []int {
+	out := make([]int, len(sc.Hits))
+	copy(out, sc.Hits)
+	return out
+}

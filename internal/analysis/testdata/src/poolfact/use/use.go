@@ -1,0 +1,18 @@
+// Importing half of the poolalias fact fixture: taint starts at a
+// cross-package accessor call and is cleared by a cross-package
+// //kw:fresh fact.
+package use
+
+import "poolfact/lib"
+
+func Leak() []int {
+	sc := lib.Rent()
+	defer lib.Return(sc)
+	return sc.Hits // want `returned value aliases pooled scratch`
+}
+
+func Clean() []int {
+	sc := lib.Rent()
+	defer lib.Return(sc)
+	return lib.Snapshot(sc)
+}

@@ -1,0 +1,19 @@
+// Test-file policy for seededrand: tests pin seeds by design, so the
+// hard-coded-constant branch is exempt here — but a time-derived seed
+// makes the test unreproducible and is flagged everywhere.
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Constant seed in a test: legal, tests pin seeds by design.
+func pinnedSeedInTest() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// Wall-clock seed in a test: still a bug.
+func flakySeedInTest() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-derived seed for rand.NewSource`
+}

@@ -68,7 +68,7 @@ func TestSystemDeterminism(t *testing.T) {
 		t.Fatalf("model dims differ: %d vs %d", len(wa), len(wb))
 	}
 	for d := range wa {
-		if wa[d] != wb[d] {
+		if wa[d] != wb[d] { //kwlint:ignore floatcompare — determinism test asserts bit-exact weights across runs
 			t.Fatalf("model weight %d differs: %v vs %v", d, wa[d], wb[d])
 		}
 	}

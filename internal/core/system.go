@@ -99,11 +99,14 @@ type System struct {
 	// cacheMu guards the lazily-filled feature caches; relMu guards the
 	// lazily-mined relevance stores. Both are hit by concurrent experiment
 	// workers, so every access goes through the accessors below.
-	cacheMu       sync.RWMutex
-	fieldsCache   map[string]features.Fields
+	cacheMu sync.RWMutex
+	//kw:guardedby(cacheMu)
+	fieldsCache map[string]features.Fields
+	//kw:guardedby(cacheMu)
 	extendedCache map[string]features.ExtendedFields
 	relMu         sync.Mutex
-	relStores     map[relevance.Resource]*relevance.Store
+	//kw:guardedby(relMu)
+	relStores map[relevance.Resource]*relevance.Store
 }
 
 // Build generates the world and every resource, mirroring the paper's

@@ -130,11 +130,13 @@ var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 // Detect runs the full pipeline over plain text. The returned slice is
 // freshly allocated and owned by the caller; it never aliases the pooled
 // scratch buffers.
+//
+//kw:hotpath
 func (p *Pipeline) Detect(text string) []Detection {
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
 
-	sc.tokens = textproc.TokenizeInto(text, sc.tokens[:0])
+	sc.tokens = textproc.TokenizeInto(text, sc.tokens[:0]) //kwlint:ignore hotpath — token normalization (ToLower of mixed-case tokens) is the documented per-document budget
 
 	// Word-token view for the phrase scanners, with a mapping back to the
 	// token slice so byte offsets survive.
@@ -147,7 +149,7 @@ func (p *Pipeline) Detect(text string) []Detection {
 		}
 	}
 
-	all := appendPatternDetections(sc.all[:0], text)
+	all := appendPatternDetections(sc.all[:0], text) //kwlint:ignore hotpath — regex pattern detection is budgeted in BenchmarkDetect; see DESIGN.md §10
 
 	if p.dict != nil {
 		sc.dictIDs = p.dict.Vocab().AppendIDs(sc.dictIDs[:0], sc.norm)
@@ -188,8 +190,8 @@ func (p *Pipeline) Detect(text string) []Detection {
 	}
 
 	all = filter(all)
-	sc.all = all[:0] // return the (possibly grown) accumulator to the pool
-	return resolveCollisions(all)
+	sc.all = all[:0]              // return the (possibly grown) accumulator to the pool
+	return resolveCollisions(all) //kwlint:ignore hotpath — the result slice is deliberately fresh so it never aliases pooled scratch
 }
 
 // idWindow returns the interned ids within radius tokens of [start,end).
@@ -240,6 +242,10 @@ func stopOnly(d Detection) bool {
 	return allStopwords(d.Norm)
 }
 
+// allStopwords re-tokenizes a phrase; only the hand-built-detection test
+// path reaches it (units carry a precomputed StopOnly flag).
+//
+//kw:coldpath
 func allStopwords(phrase string) bool {
 	any := false
 	for _, w := range textproc.Words(phrase) {
@@ -259,6 +265,8 @@ func allStopwords(phrase string) bool {
 // overlap, one binary search decides each candidate — a sorted interval
 // sweep replacing the quadratic kept-list scan. The returned slice is
 // always freshly allocated (never an alias of ds), sorted by start.
+//
+//kw:fresh
 func resolveCollisions(ds []Detection) []Detection {
 	if len(ds) == 0 {
 		return nil

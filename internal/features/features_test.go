@@ -32,10 +32,10 @@ func TestFieldsBasic(t *testing.T) {
 	f := newFixture(t)
 	c := &f.w.Concepts[len(f.w.Concepts)/2]
 	fields := f.ext.Fields(c.Name)
-	if fields.ConceptSize != float64(len(c.Terms)) {
+	if fields.ConceptSize != float64(len(c.Terms)) { //kwlint:ignore floatcompare — exact integer-valued count stored in a float field
 		t.Fatalf("ConceptSize = %v, want %d", fields.ConceptSize, len(c.Terms))
 	}
-	if fields.NumberOfChars != float64(len(c.Name)) {
+	if fields.NumberOfChars != float64(len(c.Name)) { //kwlint:ignore floatcompare — exact integer-valued count stored in a float field
 		t.Fatalf("NumberOfChars = %v", fields.NumberOfChars)
 	}
 	if fields.SearchEnginePhrase <= 0 {

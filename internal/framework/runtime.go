@@ -69,6 +69,7 @@ type annScratch struct {
 	tokens    []textproc.Token
 	stems     map[string]bool
 	tids      map[uint32]bool
+	kept      map[string]bool
 	fv        []float64
 	std       []float64
 	stemCache map[string]string
@@ -80,6 +81,7 @@ var annPool = sync.Pool{New: func() any {
 	return &annScratch{
 		stems:     make(map[string]bool),
 		tids:      make(map[uint32]bool),
+		kept:      make(map[string]bool),
 		stemCache: make(map[string]string),
 	}
 }}
@@ -148,13 +150,15 @@ const cancelCheckEvery = 64
 // whether to degrade to the cheap ranking or fail the request. Timing
 // accumulators only record completed documents, so an abandoned request
 // cannot skew the throughput experiment.
+//
+//kw:hotpath
 func (rt *Runtime) AnnotateCtx(ctx context.Context, text string, topN int) ([]Annotation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sc := annPool.Get().(*annScratch)
 	defer annPool.Put(sc)
-	rt.stemPass(sc, text) // the stemmer stage of Figure 4 (timed separately)
+	rt.stemPass(sc, text) //kwlint:ignore hotpath — stemmer stage: token normalization and memoized Porter stems are the documented per-document budget
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -162,7 +166,8 @@ func (rt *Runtime) AnnotateCtx(ctx context.Context, text string, topN int) ([]An
 	start := time.Now()
 	detections := rt.Pipeline.Detect(text)
 
-	var patterns, ranked []Annotation
+	patterns := make([]Annotation, 0, 4)
+	ranked := make([]Annotation, 0, len(detections))
 	for i, d := range detections {
 		if i%cancelCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -181,7 +186,7 @@ func (rt *Runtime) AnnotateCtx(ctx context.Context, text string, topN int) ([]An
 			// large, but finite set of entities").
 			continue
 		}
-		rel := rt.Packs.Score(d.Norm, rt.localTIDsInto(sc, text, d.Start, d.End))
+		rel := rt.Packs.Score(d.Norm, rt.localTIDsInto(sc, text, d.Start, d.End)) //kwlint:ignore hotpath — window re-tokenization shares the tokenizer's documented normalization budget
 		sc.fv = fields.AppendExpand(sc.fv[:0], allGroups)
 		sc.fv = append(sc.fv, log1p(rel))
 		if cap(sc.std) < len(sc.fv) {
@@ -200,7 +205,8 @@ func (rt *Runtime) AnnotateCtx(ctx context.Context, text string, topN int) ([]An
 		// The paper's tie-break: favor the higher relevance score.
 		return ranked[i].Relevance > ranked[j].Relevance
 	})
-	ranked = keepTopConcepts(ranked, topN)
+	clear(sc.kept)
+	ranked = keepTopConcepts(sc.kept, ranked, topN)
 	rt.rankNanos.Add(time.Since(start).Nanoseconds())
 	rt.bytesProcessed.Add(int64(len(text)))
 	return append(patterns, ranked...), nil
@@ -209,12 +215,12 @@ func (rt *Runtime) AnnotateCtx(ctx context.Context, text string, topN int) ([]An
 // keepTopConcepts keeps the top-N *distinct* concepts of a ranked slice;
 // every occurrence of a kept concept stays annotated ("an application can
 // then choose the top N entities from this ranked list"). topN ≤ 0 keeps
-// everything.
-func keepTopConcepts(ranked []Annotation, topN int) []Annotation {
+// everything. kept is the caller's (cleared) dedup set — the hot path
+// hands in pooled scratch so the dedup costs no per-request allocation.
+func keepTopConcepts(kept map[string]bool, ranked []Annotation, topN int) []Annotation {
 	if topN <= 0 {
 		return ranked
 	}
-	kept := make(map[string]bool, topN)
 	out := ranked[:0]
 	for _, a := range ranked {
 		if !kept[a.Detection.Norm] {
@@ -262,7 +268,7 @@ func (rt *Runtime) AnnotateDegraded(text string, topN int) []Annotation {
 		}
 		return ranked[i].Detection.Start < ranked[j].Detection.Start
 	})
-	return append(patterns, keepTopConcepts(ranked, topN)...)
+	return append(patterns, keepTopConcepts(make(map[string]bool), ranked, topN)...)
 }
 
 // localTIDs maps the stemmed content words near [start,end) to the Global

@@ -74,6 +74,11 @@ func NewBitReaderAt(data []byte, bitOffset int) *BitReader {
 // ErrOutOfBits is returned when a read runs past the end of the data.
 var ErrOutOfBits = errors.New("golomb: out of bits")
 
+// errUnaryTooLong reports a unary run long enough that the input must be
+// corrupt. A package-level sentinel so the decode hot path never
+// constructs an error value.
+var errUnaryTooLong = errors.New("golomb: unary run too long (corrupt data)")
+
 // ReadBit returns the next bit.
 func (r *BitReader) ReadBit() (uint32, error) {
 	byteIdx := r.pos >> 3
@@ -129,7 +134,7 @@ func (r *BitReader) ReadUnary() (uint32, error) {
 		v += uint32(8 - r.pos&7)
 		r.pos = (byteIdx + 1) * 8
 		if v > 1<<30 {
-			return 0, errors.New("golomb: unary run too long (corrupt data)")
+			return 0, errUnaryTooLong
 		}
 	}
 }

@@ -57,6 +57,8 @@ func (v *Vocab) Token(id uint32) string { return v.toks[id] }
 // AppendIDs appends the ids of tokens to dst and returns it. Unknown tokens
 // map to NoID. The usual call site passes a pooled dst[:0], making the
 // interning pass allocation-free in steady state.
+//
+//kw:hotpath
 func (v *Vocab) AppendIDs(dst []uint32, tokens []string) []uint32 {
 	for _, t := range tokens {
 		id, ok := v.ids[t]
@@ -160,6 +162,8 @@ func (m *Matcher) MaxLen() int { return m.maxLen }
 // id and end position (exclusive) of the longest pattern starting at i.
 // ok is false when no pattern starts there. The walk performs one map
 // probe per consumed token and allocates nothing.
+//
+//kw:hotpath
 func (m *Matcher) LongestAt(ids []uint32, i int) (pattern, end int, ok bool) {
 	node := int32(0)
 	best := noPattern
@@ -194,6 +198,8 @@ type Match struct {
 // AppendMatches scans ids greedy-longest at every position and appends the
 // matches to dst, returning it. With a pre-sized dst the scan is
 // allocation-free.
+//
+//kw:hotpath
 func (m *Matcher) AppendMatches(dst []Match, ids []uint32) []Match {
 	for i := 0; i < len(ids); i++ {
 		if p, end, ok := m.LongestAt(ids, i); ok {

@@ -312,6 +312,8 @@ func (m *Model) Score(features []float64) float64 {
 // ScoreBuf is Score using buf as the standardization scratch, so a serving
 // loop can reuse one buffer across calls instead of allocating per vector.
 // features is not modified; buf's contents are overwritten.
+//
+//kw:hotpath
 func (m *Model) ScoreBuf(features, buf []float64) float64 {
 	x := append(buf[:0], features...)
 	for d := range x {

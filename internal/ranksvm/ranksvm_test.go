@@ -209,7 +209,7 @@ func TestTrainDeterministic(t *testing.T) {
 	m1, _ := Train(train, Options{Seed: 14})
 	m2, _ := Train(train, Options{Seed: 14})
 	for d := range m1.Weights {
-		if m1.Weights[d] != m2.Weights[d] {
+		if m1.Weights[d] != m2.Weights[d] { //kwlint:ignore floatcompare — determinism test asserts bit-exact weights for a fixed seed
 			t.Fatal("training not deterministic for fixed seed")
 		}
 	}

@@ -23,7 +23,8 @@ type countCache struct {
 
 type countShard struct {
 	mu sync.RWMutex
-	m  map[string]int
+	//kw:guardedby(mu)
+	m map[string]int
 }
 
 func newCountCache() *countCache {

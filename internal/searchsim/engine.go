@@ -43,6 +43,8 @@ type Doc struct {
 //   - Frozen: after Freeze, postings live only in Golomb-compressed form,
 //     the engine is immutable and safe for concurrent queries, and
 //     ResultCount is memoized. Add after Freeze panics.
+//
+//kw:frozen-after(Freeze)
 type Engine struct {
 	Docs []Doc
 
@@ -70,6 +72,8 @@ func (e *Engine) Add(text string, topic int) int {
 // addTokenized indexes a document whose tokens were computed by the caller
 // (the parallel corpus builder tokenizes in its workers and merges here, in
 // input order, on one goroutine).
+//
+//kw:builder
 func (e *Engine) addTokenized(text string, tokens []string, topic int) int {
 	if e.frozen != nil {
 		panic("searchsim: Add after Freeze — the frozen index is immutable")
@@ -273,7 +277,9 @@ type Result struct {
 // occurrences weighted by the rarity of the phrase's terms, normalized by
 // document length) and returns up to k results sorted by (score desc, doc
 // asc). The idf sum runs over terms in query order so float accumulation is
-// reproducible.
+// reproducible. The result slice is always freshly allocated.
+//
+//kw:fresh
 func (e *Engine) rankHits(terms []string, hits []phraseHit, k int) []Result {
 	if len(hits) == 0 {
 		return nil
@@ -370,6 +376,8 @@ const SnippetWidth = 20
 // firstOccurrence returns the token position of the first occurrence of the
 // phrase (as interned ids) in docID, or -1 when the doc does not contain the
 // phrase. Cursor-based: never rescans document text.
+//
+//kw:hotpath
 func (e *Engine) firstOccurrence(docID int32, ids []uint32, sc *evalScratch) int32 {
 	k := len(ids)
 	if k == 0 {

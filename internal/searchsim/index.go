@@ -404,6 +404,8 @@ type evalScratch struct {
 // per-doc occurrence checks probe offset-shifted position lists.
 //
 // The returned slice aliases sc.hits.
+//
+//kw:hotpath
 func (e *Engine) phraseHits(ids []uint32, sc *evalScratch) []phraseHit {
 	k := len(ids)
 	if k == 0 {
@@ -483,6 +485,8 @@ outer:
 // hits: a single term is answered from the document frequency alone (no
 // position decode), and multi-term candidates stop probing at the first
 // full occurrence.
+//
+//kw:hotpath
 func (e *Engine) countPhraseDocs(ids []uint32, sc *evalScratch) int {
 	k := len(ids)
 	if k == 0 {
@@ -551,6 +555,8 @@ outer:
 // intersectCount returns the number of docs containing every listed term
 // (any order, no position constraint) — the any-order query path. It runs
 // the same leapfrog as phraseHits but never touches position streams.
+//
+//kw:hotpath
 func (e *Engine) intersectCount(ids []uint32, sc *evalScratch) int {
 	k := len(ids)
 	if cap(sc.cursors) < k {

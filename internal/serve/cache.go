@@ -60,9 +60,12 @@ type flight struct {
 }
 
 type cacheShard struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//kw:guardedby(mu)
 	entries map[cacheKey]*list.Element // of *cacheEntry
-	lru     *list.List                 // front = most recent
+	//kw:guardedby(mu)
+	lru *list.List // front = most recent
+	//kw:guardedby(mu)
 	flights map[cacheKey]*flight
 }
 

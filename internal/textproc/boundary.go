@@ -57,8 +57,7 @@ func endsSentence(prev, next Token, text string) bool {
 			for k > 0 && isWordByte(text[k-1]) {
 				k--
 			}
-			w := strings.ToLower(text[k:j])
-			if sentenceAbbrev[w] || len(w) == 1 {
+			if periodAbbrev(text, k, j) {
 				return false
 			}
 		}
@@ -71,6 +70,31 @@ func endsSentence(prev, next Token, text string) bool {
 		return next.Kind == Number || next.Text == "\"" || next.Text == "'"
 	}
 	return false
+}
+
+// periodAbbrev reports whether the word text[k:j] before a period is a
+// single initial or a known abbreviation. The word is ASCII-lowercased
+// into a stack buffer so the sentence-boundary pass allocates nothing;
+// the string conversion in the map lookup is the compiler's
+// no-allocation map-key form. Abbreviations longer than the buffer
+// cannot be in the table, so they fall through to "sentence ends".
+func periodAbbrev(text string, k, j int) bool {
+	n := j - k
+	if n == 1 {
+		return true
+	}
+	var buf [16]byte
+	if n > len(buf) {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		b := text[k+i]
+		if b >= 'A' && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		buf[i] = b
+	}
+	return sentenceAbbrev[string(buf[:n])]
 }
 
 func isWordByte(b byte) bool {

@@ -281,6 +281,8 @@ func (s *Set) FindInTokens(tokens []string) []Match {
 // FindInIDs scans interned token ids (from Vocab().AppendIDs) and appends
 // the matches to dst, returning it. With a pre-sized dst the scan performs
 // zero allocations.
+//
+//kw:hotpath
 func (s *Set) FindInIDs(ids []uint32, dst []Match) []Match {
 	for i := 0; i < len(ids); i++ {
 		if p, end, ok := s.matcher.LongestAt(ids, i); ok {
