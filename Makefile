@@ -40,20 +40,36 @@ race:
 # The hot-path benchmarks are re-run with enough iterations for allocs/op
 # to be exact (later result lines for a name overwrite the 1x ones), then
 # guarded against BENCH.baseline.json: more than +20% allocs/op on the
-# annotate or detect path fails the build (DESIGN.md §10).
+# annotate or detect path fails the build (DESIGN.md §10). The offline
+# extraction/mining benchmarks guard at a *maximum ratio below one* —
+# their baselines record the pre-interning measurements and the ≤0.40
+# ratio pins the interned paths' ≥60% allocation reduction. The parallel
+# sweep benches are floored on parEff-8 (speedup at 8 workers divided by
+# usable cores), the machine-independent form of the ≥2.8×-on-8-cores
+# scaling contract.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./... > bench.out
 	$(GO) test -run=NONE -bench='^BenchmarkAnnotate$$' -benchtime=50x . >> bench.out
 	$(GO) test -run=NONE -bench='^BenchmarkDetect$$' -benchtime=100x ./internal/detect >> bench.out
-	$(GO) test -run=NONE -bench='^(BenchmarkResultCount|BenchmarkPhraseEval|BenchmarkSearchTopK|BenchmarkIndexSize)$$' -benchtime=2000x ./internal/searchsim >> bench.out
+	$(GO) test -run=NONE -bench='^(BenchmarkResultCount|BenchmarkPhraseEval|BenchmarkSearchTopK|BenchmarkIndexSize|BenchmarkPhraseSearch)$$' -benchtime=2000x ./internal/searchsim >> bench.out
 	$(GO) test -run=NONE -bench='^BenchmarkBuildFeatures$$' -benchtime=20x . >> bench.out
+	$(GO) test -run=NONE -bench='^BenchmarkFields$$' -benchtime=1000x ./internal/features >> bench.out
+	$(GO) test -run=NONE -bench='^BenchmarkMineSnippets$$' -benchtime=20x ./internal/relevance >> bench.out
+	$(GO) test -run=NONE -bench='^BenchmarkExtract$$' -benchtime=20x ./internal/units >> bench.out
 	$(GO) run ./cmd/benchjson -o BENCH.json -baseline BENCH.baseline.json \
 		-guard 'BenchmarkAnnotate:allocs/op:1.20' \
 		-guard 'BenchmarkDetect:allocs/op:1.20' \
 		-guard 'BenchmarkBuildFeatures:allocs/op:1.20' \
 		-guard 'BenchmarkPhraseEval:allocs/op:1.50' \
 		-guard 'BenchmarkSearchTopK:allocs/op:1.20' \
-		-guard 'BenchmarkIndexSize:frozen-bytes:1.05' < bench.out
+		-guard 'BenchmarkIndexSize:frozen-bytes:1.05' \
+		-guard 'BenchmarkFields:B/op:0.40' \
+		-guard 'BenchmarkFields:allocs/op:0.40' \
+		-guard 'BenchmarkMineSnippets:B/op:0.40' \
+		-guard 'BenchmarkMineSnippets:allocs/op:0.40' \
+		-guard 'BenchmarkExtract:allocs/op:1.20' \
+		-floor 'BenchmarkParallelBuild:parEff-8:0.35' \
+		-floor 'BenchmarkParallelCrossValidate:parEff-8:0.35' < bench.out
 
 # Deterministic fault injection under -race with a pinned seed: the chaos
 # tests derive their expected recovery counters from CHAOS_SEED, so any

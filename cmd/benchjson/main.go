@@ -16,6 +16,13 @@
 //
 //	benchjson -o BENCH.json -baseline BENCH.baseline.json \
 //	    -guard 'BenchmarkAnnotate:allocs/op:1.20' < bench.out
+//
+// -floor enforces an absolute minimum on a metric with no baseline needed —
+// the form for metrics that are already normalized, like the parallel
+// efficiency parEff-8 (speedup divided by usable cores), where the
+// contract is "at least this much" on any machine:
+//
+//	benchjson -floor 'BenchmarkParallelBuild:parEff-8:0.35' < bench.out
 package main
 
 import (
@@ -43,8 +50,9 @@ func (g *guardList) Set(v string) error { *g = append(*g, v); return nil }
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	baselinePath := flag.String("baseline", "", "checked-in baseline JSON for -guard checks")
-	var guards guardList
+	var guards, floors guardList
 	flag.Var(&guards, "guard", "bench:metric:maxRatio — fail when current/baseline exceeds maxRatio (repeatable)")
+	flag.Var(&floors, "floor", "bench:metric:min — fail when the metric falls below the absolute minimum (repeatable)")
 	flag.Parse()
 
 	benches, err := parse(os.Stdin)
@@ -80,6 +88,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if err := checkFloors(benches, floors); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// checkFloors enforces absolute metric minimums. Like checkGuards, a
+// missing benchmark or metric is a hard error, not a skip.
+func checkFloors(benches map[string]Entry, floors []string) error {
+	for _, f := range floors {
+		parts := strings.Split(f, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("bad -floor %q (want bench:metric:min)", f)
+		}
+		bench, metric := parts[0], parts[1]
+		min, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad -floor minimum %q", parts[2])
+		}
+		cur, ok := benches[bench].Metrics[metric]
+		if !ok {
+			return fmt.Errorf("floor %s: benchmark %q has no %q metric in this run", f, bench, metric)
+		}
+		if cur < min {
+			return fmt.Errorf("floor FAILED: %s %s = %.4g below minimum %.4g", bench, metric, cur, min)
+		}
+		fmt.Fprintf(os.Stderr, "floor ok: %s %s = %.4g (minimum %.4g)\n", bench, metric, cur, min)
+	}
+	return nil
 }
 
 // checkGuards compares the parsed results against the baseline file. A

@@ -26,7 +26,6 @@ var liveAnnotations = map[string][]string{
 	"internal/core/system.go": {
 		"System.extendedCache //kw:guardedby(cacheMu)",
 		"System.fieldsCache //kw:guardedby(cacheMu)",
-		"System.relStores //kw:guardedby(relMu)",
 	},
 	"internal/detect/detect.go": {
 		"Pipeline.Detect //kw:hotpath",
@@ -47,8 +46,15 @@ var liveAnnotations = map[string][]string{
 	"internal/searchsim/cache.go": {
 		"countShard.m //kw:guardedby(mu)",
 	},
+	"internal/relevance/interned.go": {
+		"Miner.finalizeIDs //kw:fresh",
+	},
+	"internal/searchsim/bulkindex.go": {
+		"Engine.indexTokenized //kw:builder",
+	},
 	"internal/searchsim/engine.go": {
 		"Engine //kw:frozen-after(Freeze)",
+		"Engine.FreezeWorkers //kw:builder",
 		"Engine.addTokenized //kw:builder",
 		"Engine.firstOccurrence //kw:hotpath",
 		"Engine.rankHits //kw:fresh",
@@ -57,6 +63,7 @@ var liveAnnotations = map[string][]string{
 		"Engine.countPhraseDocs //kw:hotpath",
 		"Engine.intersectCount //kw:hotpath",
 		"Engine.phraseHits //kw:hotpath",
+		"termCursor.loadBlockBitmap //kw:hotpath",
 	},
 	"internal/serve/cache.go": {
 		"cacheShard.entries //kw:guardedby(mu)",

@@ -57,15 +57,49 @@ func (g *Group) CTRs() []float64 {
 	return out
 }
 
+// boundStore is a relevance store paired with a pooled id-keyed context,
+// the unit the feature joins iterate over (always in the caller's resource
+// order, never map order). Release returns the contexts to their pools.
+type boundStore struct {
+	r   relevance.Resource
+	st  *relevance.Store
+	ctx *relevance.Ctx
+}
+
+// bindStores resolves (and lazily mines) the requested stores, deduplicated
+// in first-seen order, each with a pooled context scorer.
+func (s *System) bindStores(resources []relevance.Resource) []boundStore {
+	out := make([]boundStore, 0, len(resources))
+	for _, r := range resources {
+		dup := false
+		for _, b := range out {
+			if b.r == r {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		st := s.RelevanceStore(r)
+		out = append(out, boundStore{r: r, st: st, ctx: st.AcquireCtx()})
+	}
+	return out
+}
+
+func releaseStores(stores []boundStore) {
+	for _, b := range stores {
+		b.st.ReleaseCtx(b.ctx)
+	}
+}
+
 // Dataset materializes the ranking dataset from the system's window groups,
 // attaching interestingness features and the relevance scores for the given
 // resources (pass nil for interestingness-only experiments). This is the
 // offline feature join the paper performs before training.
 func (s *System) Dataset(resources []relevance.Resource) []Group {
-	stores := make(map[relevance.Resource]*relevance.Store, len(resources))
-	for _, r := range resources {
-		stores[r] = s.RelevanceStore(r)
-	}
+	stores := s.bindStores(resources)
+	defer releaseStores(stores)
 	// Batch-extract the features of every concept in the click data across
 	// workers before the serial join below — extraction dominates the join.
 	var names []string
@@ -101,12 +135,12 @@ func (s *System) Dataset(resources []relevance.Resource) []Group {
 				// Relevance is scored against the mention's surrounding
 				// context ("co-occurrences of the pre-mined keywords and
 				// the given concept in the context"), not the whole window.
-				stems := relevance.ContextStemsAround(wg.Text, e.Position, 0)
 				ex.RelScore = make(map[relevance.Resource]float64, len(stores))
 				ex.RelNorm = make(map[relevance.Resource]float64, len(stores))
-				for r, st := range stores {
-					ex.RelScore[r] = st.Score(e.Concept.Name, stems)
-					ex.RelNorm[r] = st.NormalizedScore(e.Concept.Name, stems)
+				for _, b := range stores {
+					b.ctx.SetAround(wg.Text, e.Position, 0)
+					ex.RelScore[b.r] = b.st.ScoreCtx(e.Concept.Name, b.ctx)
+					ex.RelNorm[b.r] = b.st.NormalizedScoreCtx(e.Concept.Name, b.ctx)
 				}
 			}
 			g.Examples = append(g.Examples, ex)

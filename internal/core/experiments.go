@@ -247,6 +247,8 @@ func (s *System) Table6(cfg EditorialConfig) (Table6, error) {
 // trained methods can rank entities outside the click corpus.
 func (s *System) GroupFromStory(story *newsgen.Story, resources []relevance.Resource) Group {
 	g := Group{StoryID: story.ID, Text: story.Text}
+	stores := s.bindStores(resources)
+	defer releaseStores(stores)
 	for _, m := range story.Mentions {
 		ex := Example{
 			Concept:  m.Concept,
@@ -255,13 +257,13 @@ func (s *System) GroupFromStory(story *newsgen.Story, resources []relevance.Reso
 			Degree:   m.Degree,
 			Fields:   s.Fields(m.Concept.Name),
 		}
-		if len(resources) > 0 {
-			stems := relevance.ContextStemsAround(story.Text, m.Position, 0)
-			ex.RelScore = make(map[relevance.Resource]float64, len(resources))
-			ex.RelNorm = make(map[relevance.Resource]float64, len(resources))
-			for _, r := range resources {
-				ex.RelScore[r] = s.RelevanceStore(r).Score(m.Concept.Name, stems)
-				ex.RelNorm[r] = s.RelevanceStore(r).NormalizedScore(m.Concept.Name, stems)
+		if len(stores) > 0 {
+			ex.RelScore = make(map[relevance.Resource]float64, len(stores))
+			ex.RelNorm = make(map[relevance.Resource]float64, len(stores))
+			for _, b := range stores {
+				b.ctx.SetAround(story.Text, m.Position, 0)
+				ex.RelScore[b.r] = b.st.ScoreCtx(m.Concept.Name, b.ctx)
+				ex.RelNorm[b.r] = b.st.NormalizedScoreCtx(m.Concept.Name, b.ctx)
 			}
 		}
 		g.Examples = append(g.Examples, ex)

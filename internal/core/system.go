@@ -96,17 +96,22 @@ type System struct {
 	Cleaned []clicksim.Report
 	Groups  []clicksim.WindowGroup
 
-	// cacheMu guards the lazily-filled feature caches; relMu guards the
-	// lazily-mined relevance stores. Both are hit by concurrent experiment
-	// workers, so every access goes through the accessors below.
+	// cacheMu guards the lazily-filled feature caches, which are hit by
+	// concurrent experiment workers, so every access goes through the
+	// accessors below.
 	cacheMu sync.RWMutex
 	//kw:guardedby(cacheMu)
 	fieldsCache map[string]features.Fields
 	//kw:guardedby(cacheMu)
 	extendedCache map[string]features.ExtendedFields
-	relMu         sync.Mutex
-	//kw:guardedby(relMu)
-	relStores map[relevance.Resource]*relevance.Store
+
+	// relStores are the lazily-mined relevance stores, one slot per
+	// Resource with its own once-guard: concurrent requests for the same
+	// resource build once, while different resources mine concurrently —
+	// under the previous single mutex a Prisma build serialized behind an
+	// in-flight Snippets build.
+	relOnce   [relevance.NumResources]sync.Once
+	relStores [relevance.NumResources]*relevance.Store
 }
 
 // Build generates the world and every resource, mirroring the paper's
@@ -133,7 +138,6 @@ func Build(cfg Config) *System {
 
 	s.fieldsCache = make(map[string]features.Fields)
 	s.extendedCache = make(map[string]features.ExtendedFields)
-	s.relStores = make(map[relevance.Resource]*relevance.Store)
 	return s
 }
 
@@ -229,18 +233,15 @@ func (s *System) missingFrom(concepts []string, cached func(string) bool) []stri
 // resource, mined over every concept that appears in the click data plus
 // every world concept (so unseen test concepts are covered too). Safe for
 // concurrent callers: the first one builds (itself fanning out across
-// Config.Workers) while the rest wait.
+// Config.Workers) while the rest wait; builds for different resources do
+// not block each other.
 func (s *System) RelevanceStore(r relevance.Resource) *relevance.Store {
-	s.relMu.Lock()
-	defer s.relMu.Unlock()
-	if st, ok := s.relStores[r]; ok {
-		return st
-	}
-	names := make([]string, len(s.World.Concepts))
-	for i := range s.World.Concepts {
-		names[i] = s.World.Concepts[i].Name
-	}
-	st := relevance.BuildStoreWorkers(s.Miner, names, r, s.Config.Workers)
-	s.relStores[r] = st
-	return st
+	s.relOnce[r].Do(func() {
+		names := make([]string, len(s.World.Concepts))
+		for i := range s.World.Concepts {
+			names[i] = s.World.Concepts[i].Name
+		}
+		s.relStores[r] = relevance.BuildStoreWorkers(s.Miner, names, r, s.Config.Workers)
+	})
+	return s.relStores[r]
 }

@@ -44,6 +44,22 @@ func (d *Dictionary) AddDocumentText(text string) {
 	d.AddDocument(textproc.Words(text))
 }
 
+// AddTermDocs adds df to term's document frequency without touching the
+// document count. Bulk indexers that already know each term's exact document
+// frequency (the length of its merged posting list) record it directly
+// instead of replaying per-document distinct-term scans; pairing it with one
+// AddDocs call yields counts identical to AddDocument per document.
+func (d *Dictionary) AddTermDocs(term string, df int) {
+	if term == "" || df == 0 {
+		return
+	}
+	d.docFreq[term] += df
+}
+
+// AddDocs records n additional documents — the document-count companion of
+// AddTermDocs.
+func (d *Dictionary) AddDocs(n int) { d.numDocs += n }
+
 // NumDocs returns the number of documents the dictionary has seen.
 func (d *Dictionary) NumDocs() int { return d.numDocs }
 

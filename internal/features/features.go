@@ -18,6 +18,9 @@ package features
 
 import (
 	"math"
+	"strings"
+	"sync"
+	"unicode/utf8"
 
 	"contextrank/internal/par"
 	"contextrank/internal/querylog"
@@ -172,17 +175,58 @@ func NewExtractor(log *querylog.Log, us *units.Set, engine *searchsim.Engine, en
 	return &Extractor{log: log, units: us, engine: engine, wiki: enc, dict: dict}
 }
 
+// extractScratch is one worker's pooled term-split buffer: the concept is
+// split on whitespace once per Fields call and the terms — substrings of the
+// concept, no per-term copies — feed every term-shaped feature.
+type extractScratch struct {
+	terms []string
+}
+
+var extractPool = sync.Pool{New: func() any { return new(extractScratch) }}
+
+// appendFields splits s into whitespace-separated fields appended to dst,
+// with strings.Fields semantics. Fields alias s, so the split allocates
+// nothing once dst has capacity. Inputs containing non-ASCII bytes fall back
+// to strings.Fields (a multi-byte rune may be Unicode whitespace).
+func appendFields(dst []string, s string) []string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return append(dst, strings.Fields(s)...)
+		}
+	}
+	start := -1
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\v', '\f', '\r':
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+		default:
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, s[start:])
+	}
+	return dst
+}
+
 // Fields computes the nine features for a concept phrase (normalized,
 // lower-case form).
 func (e *Extractor) Fields(concept string) Fields {
+	sc := extractPool.Get().(*extractScratch)
+	terms := appendFields(sc.terms[:0], concept)
 	var f Fields
 	if e.log != nil {
 		f.FreqExact = math.Log1p(float64(e.log.FreqExact(concept)))
-		f.FreqPhraseContained = math.Log1p(float64(e.log.FreqPhraseContained(concept)))
+		f.FreqPhraseContained = math.Log1p(float64(e.log.FreqPhraseContainedTerms(terms)))
 	}
 	if e.units != nil {
 		f.UnitScore = e.units.Score(concept)
-		f.Subconcepts = float64(e.units.SubconceptCount(concept, SubconceptMinScore))
+		f.Subconcepts = float64(e.units.SubconceptCountTerms(terms, SubconceptMinScore))
 	}
 	if e.engine != nil {
 		f.SearchEnginePhrase = math.Log1p(float64(e.engine.ResultCount(concept)))
@@ -195,6 +239,8 @@ func (e *Extractor) Fields(concept string) Fields {
 	if e.wiki != nil {
 		f.WikiWordCount = math.Log1p(float64(e.wiki.WordCount(concept)))
 	}
+	sc.terms = terms[:0]
+	extractPool.Put(sc)
 	return f
 }
 

@@ -212,7 +212,13 @@ func (l *Log) FreqExact(phrase string) int {
 // phrase as a contiguous sub-phrase (including exact matches) — the paper's
 // feature (2) freq_phrase_contained.
 func (l *Log) FreqPhraseContained(phrase string) int {
-	terms := strings.Fields(phrase)
+	return l.FreqPhraseContainedTerms(strings.Fields(phrase))
+}
+
+// FreqPhraseContainedTerms is FreqPhraseContained over a pre-split phrase —
+// the batch feature extractor splits each concept once and reuses the terms
+// across every per-term feature.
+func (l *Log) FreqPhraseContainedTerms(terms []string) int {
 	if len(terms) == 0 {
 		return 0
 	}
@@ -281,6 +287,16 @@ func (l *Log) QueriesContaining(term string) []int32 {
 
 // Query returns the i'th query.
 func (l *Log) Query(i int) Query { return l.Queries[i] }
+
+// Vocab returns the log's term vocabulary (term string ↔ dense id). The log
+// is immutable after FromCounts, so the vocabulary is safe for concurrent
+// reads; the interned relevance miner keys its scratch by these ids.
+func (l *Log) Vocab() *match.Vocab { return l.vocab }
+
+// TermIDs returns the interned terms of the i'th query, in query order
+// (repeats preserved). The slice aliases internal storage and must not be
+// modified.
+func (l *Log) TermIDs(i int) []uint32 { return l.termIDs[i] }
 
 // TopQueries returns the n most frequent queries (ties broken by text).
 func (l *Log) TopQueries(n int) []Query {

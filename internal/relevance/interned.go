@@ -1,0 +1,252 @@
+package relevance
+
+import (
+	"math"
+	"slices"
+
+	"contextrank/internal/corpus"
+	"contextrank/internal/match"
+	"contextrank/internal/searchsim"
+	"contextrank/internal/stem"
+	"contextrank/internal/textproc"
+)
+
+// This file is the miner's interned-ID fast path, active whenever the engine
+// is frozen. The string path in relevance.go rebuilds a string-keyed map per
+// concept and re-derives idf, document frequency, stopword status and stem
+// for every term sighting; here those per-term facts are computed once per
+// vocabulary id (termTable) and each concept accumulates raw scores into
+// pooled id-keyed scratch (mineScratch). The outputs are bit-identical to
+// the string path — both accumulate floats in ascending-vocabulary-id order
+// — which the differential tests pin.
+
+// termFacts caches, per vocabulary id, everything finalize needs to know
+// about a term: its stem (as an id in termTable.stems), its engine-corpus
+// idf and document frequency, and whether it is a stopword.
+type termFacts struct {
+	stemOf []uint32  // term id -> stem id in termTable.stems; match.NoID if the stem is empty
+	idf    []float64 // engine-dictionary smoothed IDF
+	df     []int32   // engine-dictionary document frequency
+	stop   []bool    // textproc.IsStopword
+}
+
+// termTable holds the miner's per-id fact tables: one for the engine
+// vocabulary (snippets and Prisma terms) and one for the query-log
+// vocabulary (suggestion terms), plus the shared stem vocabulary both
+// fact tables intern into. Built once per miner, on first frozen Mine.
+type termTable struct {
+	stems *match.Vocab
+	eng   termFacts
+	sug   termFacts
+}
+
+// buildFacts derives the fact table for one vocabulary. Idf and document
+// frequency always come from the engine dictionary — the string path scores
+// suggestion terms with engine idf too.
+func buildFacts(voc *match.Vocab, dict *corpus.Dictionary, stems *match.Vocab) termFacts {
+	n := voc.Len()
+	f := termFacts{
+		stemOf: make([]uint32, n),
+		idf:    make([]float64, n),
+		df:     make([]int32, n),
+		stop:   make([]bool, n),
+	}
+	for id := 0; id < n; id++ {
+		t := voc.Token(uint32(id))
+		f.idf[id] = dict.IDF(t)
+		f.df[id] = int32(dict.DocFreq(t))
+		f.stop[id] = textproc.IsStopword(t)
+		f.stemOf[id] = match.NoID
+		if st := stem.Stem(t); st != "" {
+			f.stemOf[id] = stems.Intern(st)
+		}
+	}
+	return f
+}
+
+// table lazily builds the termTable. Callers have already checked that the
+// engine is frozen, so both vocabularies are final.
+func (mn *Miner) table() *termTable {
+	mn.tableOnce.Do(func() {
+		tab := &termTable{stems: match.NewVocab()}
+		tab.eng = buildFacts(mn.engine.Vocab(), mn.engine.Dictionary(), tab.stems)
+		if mn.suggestor != nil {
+			tab.sug = buildFacts(mn.suggestor.Log().Vocab(), mn.engine.Dictionary(), tab.stems)
+		}
+		mn.tbl = tab
+	})
+	return mn.tbl
+}
+
+// mineScratch is one worker's pooled working set. Scores are id-indexed
+// dense arrays zeroed selectively through the touched lists, so releasing a
+// scratch is O(touched), not O(vocabulary). All accumulated scores are
+// strictly positive (counts, ln(freq+1) with freq >= 1, Prisma weights), so
+// score == 0 is a valid "untouched" test.
+type mineScratch struct {
+	score   []float64 // engine term id -> raw score
+	touched []uint32  // engine ids with score != 0
+	sscore  []float64 // log term id -> raw score
+	stouch  []uint32  // log ids with sscore != 0
+	smark   []uint32  // log term id -> generation of last sighting
+	sgen    uint32    // current per-suggestion dedupe generation
+	agg     []float64 // stem id -> aggregated score
+	aggT    []uint32  // stem ids with agg != 0
+	own     []uint32  // the concept's own stem ids
+}
+
+// getScratch takes a scratch from the pool and sizes its arrays to the
+// (frozen, hence fixed) vocabularies.
+func (mn *Miner) getScratch(tab *termTable) *mineScratch {
+	sc, _ := mn.scratch.Get().(*mineScratch)
+	if sc == nil {
+		sc = new(mineScratch)
+	}
+	if n := len(tab.eng.idf); len(sc.score) < n {
+		sc.score = make([]float64, n)
+	}
+	if n := len(tab.sug.idf); len(sc.sscore) < n {
+		sc.sscore = make([]float64, n)
+		sc.smark = make([]uint32, n)
+		sc.sgen = 0
+	}
+	if n := tab.stems.Len(); len(sc.agg) < n {
+		sc.agg = make([]float64, n)
+	}
+	return sc
+}
+
+// finalizeIDs is finalize over id-keyed scratch: multiply raw scores by idf,
+// drop stopwords, corpus-wide common terms and the concept's own stems, and
+// aggregate same-stem scores — walking touched ids in ascending order, the
+// same canonical order the string finalize sorts its terms into, so the
+// float sums are bit-identical. Consumed score entries are zeroed; the
+// returned Vector is freshly allocated and shares nothing with the scratch.
+//
+//kw:fresh
+func (mn *Miner) finalizeIDs(sc *mineScratch, f *termFacts, concept string, score []float64, touched []uint32) corpus.Vector {
+	own := sc.own[:0]
+	for _, t := range textproc.Words(concept) {
+		if st := stem.Stem(t); st != "" {
+			if sid := mn.tbl.stems.ID(st); sid != match.NoID {
+				own = append(own, sid)
+			}
+		}
+	}
+	sc.own = own
+	dict := mn.engine.Dictionary()
+	maxDF := int(MaxDocFrac * float64(dict.NumDocs()))
+
+	slices.Sort(touched)
+	aggT := sc.aggT[:0]
+	for _, id := range touched {
+		s := score[id] * f.idf[id]
+		score[id] = 0
+		if f.stop[id] || int(f.df[id]) > maxDF {
+			continue
+		}
+		sid := f.stemOf[id]
+		if sid == match.NoID || containsID(own, sid) {
+			continue
+		}
+		if sc.agg[sid] == 0 {
+			aggT = append(aggT, sid)
+		}
+		sc.agg[sid] += s
+	}
+	v := make(corpus.Vector, 0, len(aggT))
+	for _, sid := range aggT {
+		v = append(v, corpus.Entry{Term: mn.tbl.stems.Token(sid), Weight: sc.agg[sid]})
+		sc.agg[sid] = 0
+	}
+	sc.aggT = aggT[:0]
+	corpus.SortVector(v)
+	if len(v) > mn.m {
+		v = v[:mn.m]
+	}
+	return v
+}
+
+// containsID reports whether ids (a concept's handful of own stems) contains x.
+func containsID(ids []uint32, x uint32) bool {
+	for _, v := range ids {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// mineSnippetsIDs is mineSnippets without strings: snippet tokens arrive as
+// engine vocabulary ids and are counted straight into the dense score array.
+func (mn *Miner) mineSnippetsIDs(concept string) corpus.Vector {
+	tab := mn.table()
+	sc := mn.getScratch(tab)
+	score := sc.score
+	touched := sc.touched[:0]
+	mn.engine.VisitSnippetTokens(concept, SnippetDepth, func(tokens []uint32, lo, hi int) {
+		for _, id := range tokens[lo:hi] {
+			if score[id] == 0 {
+				touched = append(touched, id)
+			}
+			score[id]++
+		}
+	})
+	v := mn.finalizeIDs(sc, &tab.eng, concept, score, touched)
+	sc.touched = touched[:0]
+	mn.scratch.Put(sc)
+	return v
+}
+
+// minePrismaIDs is minePrisma without strings: feedback entries arrive as
+// engine vocabulary ids with their weights.
+func (mn *Miner) minePrismaIDs(concept string) corpus.Vector {
+	tab := mn.table()
+	sc := mn.getScratch(tab)
+	score := sc.score
+	touched := sc.touched[:0]
+	mn.prisma.VisitFeedback(concept, func(term uint32, weight float64) {
+		if score[term] == 0 {
+			touched = append(touched, term)
+		}
+		score[term] += weight
+	})
+	v := mn.finalizeIDs(sc, &tab.eng, concept, score, touched)
+	sc.touched = touched[:0]
+	mn.scratch.Put(sc)
+	return v
+}
+
+// mineSuggestionsIDs is mineSuggestions without strings: suggestions arrive
+// as query-log indexes, their terms as log vocabulary ids. The per-suggestion
+// unique-term rule ("each unique term across the suggestions is scored over
+// the k suggestions containing it") uses a generation-marked table instead of
+// a per-suggestion map.
+func (mn *Miner) mineSuggestionsIDs(concept string) corpus.Vector {
+	tab := mn.table()
+	sc := mn.getScratch(tab)
+	log := mn.suggestor.Log()
+	stouch := sc.stouch[:0]
+	mn.suggestor.VisitSuggestions(concept, searchsim.SuggestionLimit, func(qi int32, freq int) {
+		sc.sgen++
+		if sc.sgen == 0 { // generation wrapped: reset the mark table
+			clear(sc.smark)
+			sc.sgen = 1
+		}
+		ln := math.Log(float64(freq) + 1)
+		for _, tid := range log.TermIDs(int(qi)) {
+			if sc.smark[tid] == sc.sgen {
+				continue
+			}
+			sc.smark[tid] = sc.sgen
+			if sc.sscore[tid] == 0 {
+				stouch = append(stouch, tid)
+			}
+			sc.sscore[tid] += ln
+		}
+	})
+	v := mn.finalizeIDs(sc, &tab.sug, concept, sc.sscore, stouch)
+	sc.stouch = stouch[:0]
+	mn.scratch.Put(sc)
+	return v
+}

@@ -1,0 +1,124 @@
+package relevance
+
+import (
+	"reflect"
+	"testing"
+
+	"contextrank/internal/corpus"
+	"contextrank/internal/world"
+)
+
+// refMine is the string reference path, bypassing the frozen-engine dispatch
+// in Mine. The interned path must reproduce it bit for bit.
+func refMine(mn *Miner, concept string, r Resource) corpus.Vector {
+	switch r {
+	case Snippets:
+		return mn.mineSnippets(concept)
+	case Prisma:
+		return mn.minePrisma(concept)
+	default:
+		return mn.mineSuggestions(concept)
+	}
+}
+
+// TestDifferentialInternedMine pins the interned-ID mining path to the
+// string reference, bit-identical (same terms, same float weights, same
+// order), for every resource over a spread of concepts — including repeated
+// mining of the same concept, which exercises pooled-scratch reuse.
+func TestDifferentialInternedMine(t *testing.T) {
+	f := newFixture(t)
+	if !f.eng.Frozen() {
+		t.Fatal("fixture engine must be frozen for the interned path")
+	}
+	concepts := []string{}
+	for i := range f.w.Concepts {
+		if i%11 == 0 {
+			concepts = append(concepts, f.w.Concepts[i].Name)
+		}
+	}
+	concepts = append(concepts, concepts[0], "unknownterm zzz", "")
+	for _, r := range []Resource{Snippets, Prisma, Suggestions} {
+		for _, c := range concepts {
+			want := refMine(f.miner, c, r)
+			got := f.miner.Mine(c, r)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s(%q): interned path diverged\n got %v\nwant %v", r, c, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialInternedMineParallel pins the interned path under
+// BuildStoreWorkers at several worker counts against a serial string-path
+// store: pooled scratch must not leak state across workers or concepts.
+func TestDifferentialInternedMineParallel(t *testing.T) {
+	f := newFixture(t)
+	concepts := []string{}
+	for i := 0; i < len(f.w.Concepts); i += 7 {
+		concepts = append(concepts, f.w.Concepts[i].Name)
+	}
+	for _, r := range []Resource{Snippets, Prisma, Suggestions} {
+		want := make(map[string]corpus.Vector, len(concepts))
+		for _, c := range concepts {
+			want[c] = refMine(f.miner, c, r)
+		}
+		for _, workers := range []int{1, 4, 0} {
+			st := BuildStoreWorkers(f.miner, concepts, r, workers)
+			for _, c := range concepts {
+				if !reflect.DeepEqual(st.RelevantTerms(c), want[c]) {
+					t.Fatalf("%s workers=%d %q: parallel interned store diverged", r, workers, c)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialCtxScore pins the id-keyed context scorer to the map path:
+// identical float scores for full-document and windowed contexts, across
+// reuse of one Ctx.
+func TestDifferentialCtxScore(t *testing.T) {
+	f := newFixture(t)
+	concepts := []string{}
+	for i := 0; i < len(f.w.Concepts); i += 13 {
+		concepts = append(concepts, f.w.Concepts[i].Name)
+	}
+	st := BuildStore(f.miner, concepts, Snippets)
+	ctx := st.NewCtx()
+
+	docs := []string{}
+	for d := 0; d < f.eng.NumDocs() && len(docs) < 12; d += 97 {
+		docs = append(docs, f.eng.Doc(d).Text)
+	}
+	for _, text := range docs {
+		stems := ContextStems(text)
+		ctx.SetText(text)
+		for _, c := range concepts {
+			if got, want := st.ScoreCtx(c, ctx), st.Score(c, stems); got != want { //kwlint:ignore floatcompare — differential test: both paths must be bit-identical
+				t.Fatalf("ScoreCtx(%q) = %v, map path = %v", c, got, want)
+			}
+			if got, want := st.NormalizedScoreCtx(c, ctx), st.NormalizedScore(c, stems); got != want { //kwlint:ignore floatcompare — differential test: both paths must be bit-identical
+				t.Fatalf("NormalizedScoreCtx(%q) = %v, map path = %v", c, got, want)
+			}
+		}
+		// Windowed local context at a few positions.
+		for _, pos := range []int{0, len(text) / 2, len(text)} {
+			stems := ContextStemsAround(text, pos, 0)
+			ctx.SetAround(text, pos, 0)
+			for _, c := range concepts {
+				if got, want := st.ScoreCtx(c, ctx), st.Score(c, stems); got != want { //kwlint:ignore floatcompare — differential test: both paths must be bit-identical
+					t.Fatalf("windowed ScoreCtx(%q, pos=%d) = %v, map path = %v", c, pos, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCtxFreshMatchesNothing: a Ctx that has never been loaded scores zero.
+func TestCtxFreshMatchesNothing(t *testing.T) {
+	f := newFixture(t)
+	c := pick(f.w, func(c *world.Concept) bool { return c.Specificity > 0.6 })
+	st := BuildStore(f.miner, []string{c.Name}, Snippets)
+	if got := st.ScoreCtx(c.Name, st.NewCtx()); got != 0 {
+		t.Fatalf("fresh Ctx scored %v, want 0", got)
+	}
+}

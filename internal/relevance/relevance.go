@@ -15,8 +15,10 @@ package relevance
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"contextrank/internal/corpus"
+	"contextrank/internal/match"
 	"contextrank/internal/par"
 	"contextrank/internal/searchsim"
 	"contextrank/internal/stem"
@@ -35,6 +37,9 @@ const (
 	// Suggestions mines up to 300 related query suggestions with their
 	// frequencies, scored Σ ln(query_freq) · idf(term).
 	Suggestions
+	// NumResources is the number of Resource values (for dense per-resource
+	// tables).
+	NumResources
 )
 
 // String names the resource.
@@ -57,12 +62,21 @@ const TopM = 100
 // retrieved for the first hundred results").
 const SnippetDepth = 100
 
-// Miner mines relevant keywords for concepts.
+// Miner mines relevant keywords for concepts. On a frozen engine, mining
+// runs on the interned-ID fast path (interned.go): term facts and stems are
+// precomputed per vocabulary id once, and per-concept mining accumulates
+// into pooled id-keyed scratch instead of per-concept string maps. The
+// string path below is retained both as the unfrozen fallback and as the
+// reference the differential tests pin the interned path to, bit for bit.
 type Miner struct {
 	engine    *searchsim.Engine
 	prisma    *searchsim.Prisma
 	suggestor *searchsim.Suggestor
 	m         int
+
+	tableOnce sync.Once
+	tbl       *termTable
+	scratch   sync.Pool // *mineScratch
 }
 
 // NewMiner builds a miner over the three resources. Any resource may be nil
@@ -75,6 +89,16 @@ func NewMiner(e *searchsim.Engine, p *searchsim.Prisma, s *searchsim.Suggestor) 
 // up to TopM stemmed terms with confidence scores, sorted decreasing.
 // The concept's own terms are excluded (they trivially co-occur).
 func (mn *Miner) Mine(concept string, r Resource) corpus.Vector {
+	if mn.engine != nil && mn.engine.Frozen() {
+		switch r {
+		case Snippets:
+			return mn.mineSnippetsIDs(concept)
+		case Prisma:
+			return mn.minePrismaIDs(concept)
+		default:
+			return mn.mineSuggestionsIDs(concept)
+		}
+	}
 	switch r {
 	case Snippets:
 		return mn.mineSnippets(concept)
@@ -103,12 +127,29 @@ const MaxDocFrac = 0.15
 // finalize stems raw term scores (accumulating same-stem scores), drops the
 // concept's own terms, stop-words and corpus-wide common terms, sorts, and
 // truncates to m.
-func (mn *Miner) finalize(concept string, scores map[string]float64) corpus.Vector {
+//
+// Same-stem scores accumulate in canonical order — ascending rank(term),
+// where rank is the term's vocabulary id — never map-iteration order, so
+// float sums are reproducible and bit-identical to the interned path's
+// finalizeIDs (which walks touched ids ascending).
+func (mn *Miner) finalize(concept string, scores map[string]float64, rank func(string) uint32) corpus.Vector {
 	own := ownStems(concept)
 	dict := mn.engine.Dictionary()
 	maxDF := int(MaxDocFrac * float64(dict.NumDocs()))
+	terms := make([]string, 0, len(scores))
+	for term := range scores {
+		terms = append(terms, term)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		ri, rj := rank(terms[i]), rank(terms[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return terms[i] < terms[j] // NoID terms: stable fallback on text
+	})
 	agg := make(map[string]float64, len(scores))
-	for term, s := range scores {
+	for _, term := range terms {
+		s := scores[term]
 		if textproc.IsStopword(term) {
 			continue
 		}
@@ -132,6 +173,14 @@ func (mn *Miner) finalize(concept string, scores map[string]float64) corpus.Vect
 	return v
 }
 
+// engineRank orders terms by engine-vocabulary id (snippet and Prisma terms
+// always come from indexed documents, so they are always in-vocabulary).
+func (mn *Miner) engineRank(t string) uint32 { return mn.engine.Vocab().ID(t) }
+
+// logRank orders terms by query-log-vocabulary id (suggestion terms come
+// from log queries).
+func (mn *Miner) logRank(t string) uint32 { return mn.suggestor.Log().Vocab().ID(t) }
+
 // mineSnippets: "we pretend that the returned snippets constitute a single
 // document and then use a bag-of-words model. For each unique term that
 // appears in this document, we compute its tf·idf score."
@@ -148,7 +197,7 @@ func (mn *Miner) mineSnippets(concept string) corpus.Vector {
 	for t, c := range counts {
 		scores[t] = float64(c) * dict.IDF(t)
 	}
-	return mn.finalize(concept, scores)
+	return mn.finalize(concept, scores, mn.engineRank)
 }
 
 // minePrisma: "We construct a single document from the concepts returned by
@@ -167,7 +216,7 @@ func (mn *Miner) minePrisma(concept string) corpus.Vector {
 	for t, c := range counts {
 		scores[t] = c * dict.IDF(t)
 	}
-	return mn.finalize(concept, scores)
+	return mn.finalize(concept, scores, mn.engineRank)
 }
 
 // mineSuggestions: each unique term across the suggestions is scored
@@ -190,14 +239,21 @@ func (mn *Miner) mineSuggestions(concept string) corpus.Vector {
 	for t, ls := range lnSum {
 		scores[t] = ls * dict.IDF(t)
 	}
-	return mn.finalize(concept, scores)
+	return mn.finalize(concept, scores, mn.logRank)
 }
 
 // Store holds pre-mined relevant keywords for a concept inventory — the
 // offline product that the production framework packs into memory (§VI).
+// Alongside the term vectors it keeps a store-local stem vocabulary and the
+// interned stem ids of every vector (built once at construction), so
+// context scoring can run over a pooled id-keyed context (Ctx, context.go)
+// instead of a per-context string map.
 type Store struct {
 	resource Resource
 	terms    map[string]corpus.Vector
+	stemVoc  *match.Vocab        // store-local stem string <-> dense id
+	ids      map[string][]uint32 // concept -> stem ids aligned with terms[concept]
+	ctxPool  sync.Pool           // *Ctx (see AcquireCtx)
 }
 
 // BuildStore mines all concepts with the given resource on all cores; see
@@ -220,13 +276,17 @@ func BuildStoreWorkers(mn *Miner, concepts []string, r Resource, workers int) *S
 	for i, c := range concepts {
 		terms[c] = vecs[i]
 	}
-	return &Store{resource: r, terms: terms}
+	s := &Store{resource: r, terms: terms}
+	s.buildIndex()
+	return s
 }
 
 // NewStore wraps pre-computed vectors (used by the framework's packed
 // representation and by tests).
 func NewStore(r Resource, terms map[string]corpus.Vector) *Store {
-	return &Store{resource: r, terms: terms}
+	s := &Store{resource: r, terms: terms}
+	s.buildIndex()
+	return s
 }
 
 // Resource returns the resource the store was mined from.
@@ -273,6 +333,15 @@ const LocalRadius = 300
 // within radius bytes of position (clamped to the text bounds). radius <= 0
 // selects LocalRadius.
 func ContextStemsAround(text string, position, radius int) map[string]bool {
+	lo, hi := contextBounds(text, position, radius)
+	return ContextStems(text[lo:hi])
+}
+
+// contextBounds computes the byte window [lo, hi) of radius around position,
+// clamped to the text and expanded to whitespace so words are not cut.
+// radius <= 0 selects LocalRadius. Shared by ContextStemsAround and
+// Ctx.SetAround so both paths see the identical window.
+func contextBounds(text string, position, radius int) (int, int) {
 	if radius <= 0 {
 		radius = LocalRadius
 	}
@@ -284,14 +353,13 @@ func ContextStemsAround(text string, position, radius int) map[string]bool {
 	if hi > len(text) {
 		hi = len(text)
 	}
-	// Expand to whitespace so words are not cut.
 	for lo > 0 && text[lo-1] != ' ' && text[lo-1] != '\n' {
 		lo--
 	}
 	for hi < len(text) && text[hi] != ' ' && text[hi] != '\n' {
 		hi++
 	}
-	return ContextStems(text[lo:hi])
+	return lo, hi
 }
 
 // Score estimates the relevance of concept in the context: the summed

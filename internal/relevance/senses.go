@@ -108,7 +108,7 @@ func (mn *Miner) MineSenses(concept string, maxSenses int, minShare float64) []S
 			scores[t] = float64(n) * dict.IDF(t)
 		}
 		senses = append(senses, Sense{
-			Keywords: mn.finalize(concept, scores),
+			Keywords: mn.finalize(concept, scores, mn.engineRank),
 			Share:    float64(len(group)) / float64(len(snippets)),
 		})
 	}

@@ -1,0 +1,174 @@
+package searchsim
+
+// Bulk parallel indexing (DESIGN.md §10). BuildCorpus used to funnel every
+// generated document through addTokenized on one goroutine — a serial
+// intern-and-append pass that dominated the build wall-clock and flattened
+// the internal/par speedup curve. indexTokenized replaces it with a
+// five-phase pipeline whose only serial work is O(distinct terms + docs):
+//
+//  1. (parallel) chunk-local interning: each worker interns its contiguous
+//     chunk of documents against a private vocabulary, recording the chunk's
+//     distinct tokens in first-occurrence order;
+//  2. (serial) vocabulary merge: every chunk's distinct tokens are interned
+//     into the engine vocabulary in chunk order. Because chunks are
+//     contiguous document ranges and each chunk's token list is in
+//     first-occurrence order, the assigned ids equal the ids the serial
+//     addTokenized loop would have produced, bit for bit;
+//  3. (parallel) id rewrite: per-doc local ids become engine ids in place;
+//  4. (parallel) posting build: each worker builds chunk-local posting lists
+//     over engine ids, then a second fan-out concatenates every term's
+//     chunk lists in chunk (= ascending doc) order with exact-capacity
+//     allocation, fixing up the per-doc position-offset bases;
+//  5. (serial) document append plus dictionary fill — a term's document
+//     frequency is simply the length of its merged posting list.
+//
+// Every phase is deterministic in content (worker scheduling only changes
+// who computes what, never the result), so the engine is bit-identical to
+// the serial Add path at any worker count. The differential test
+// TestBulkIndexMatchesSerial pins that.
+
+import (
+	"contextrank/internal/par"
+)
+
+// indexChunk is the contiguous doc range [lo, hi) owned by one worker during
+// a bulk index pass, plus its intermediate per-chunk state.
+type indexChunk struct {
+	lo, hi int
+	toks   []string      // chunk-distinct tokens in first-occurrence order
+	remap  []uint32      // chunk-local id -> engine vocab id
+	lists  []postingList // engine id -> chunk-local postings
+}
+
+// indexTokenized bulk-indexes pre-tokenized documents with the given worker
+// fan-out (internal/par semantics: 0 means NumCPU). It may be called on any
+// unfrozen engine; documents are appended after the existing ones.
+//
+//kw:builder
+func (e *Engine) indexTokenized(docs []rawDoc, workers int) {
+	if e.frozen != nil {
+		panic("searchsim: Add after Freeze — the frozen index is immutable")
+	}
+	nd := len(docs)
+	if nd == 0 {
+		return
+	}
+	w := par.Workers(workers)
+	if w > nd {
+		w = nd
+	}
+	base := len(e.Docs)
+
+	chunks := make([]indexChunk, w)
+	for i := range chunks {
+		chunks[i].lo = i * nd / w
+		chunks[i].hi = (i + 1) * nd / w
+	}
+
+	// Phase 1: chunk-local interning.
+	tokenIDs := make([][]uint32, nd)
+	par.For(w, w, func(ci int) {
+		ck := &chunks[ci]
+		local := make(map[string]uint32)
+		for di := ck.lo; di < ck.hi; di++ {
+			toks := docs[di].tokens
+			ids := make([]uint32, len(toks))
+			for p, t := range toks {
+				id, ok := local[t]
+				if !ok {
+					id = uint32(len(ck.toks))
+					local[t] = id
+					ck.toks = append(ck.toks, t)
+				}
+				ids[p] = id
+			}
+			tokenIDs[di] = ids
+		}
+	})
+
+	// Phase 2: serial vocabulary merge in chunk order (see the file comment
+	// for why this reproduces the serial id assignment exactly).
+	for ci := range chunks {
+		ck := &chunks[ci]
+		ck.remap = make([]uint32, len(ck.toks))
+		for j, t := range ck.toks {
+			ck.remap[j] = e.vocab.Intern(t)
+		}
+	}
+	nTerms := e.vocab.Len()
+
+	// Phase 3: rewrite local ids to engine ids.
+	par.For(w, w, func(ci int) {
+		ck := &chunks[ci]
+		for di := ck.lo; di < ck.hi; di++ {
+			ids := tokenIDs[di]
+			for p := range ids {
+				ids[p] = ck.remap[ids[p]]
+			}
+		}
+	})
+
+	// Phase 4a: chunk-local posting lists keyed by engine id.
+	par.For(w, w, func(ci int) {
+		ck := &chunks[ci]
+		ck.lists = make([]postingList, nTerms)
+		for di := ck.lo; di < ck.hi; di++ {
+			for pos, tid := range tokenIDs[di] {
+				ck.lists[tid].add(int32(base+di), int32(pos))
+			}
+		}
+	})
+
+	// Phase 4b: per-term concatenation in chunk order. Chunks hold ascending
+	// disjoint doc ranges, so appending chunk lists in chunk order keeps doc
+	// ids ascending; starts are rebased onto the merged position stream.
+	merged := make([]postingList, nTerms)
+	copy(merged, e.raw)
+	df := make([]int32, nTerms) // docs added per term, for the dictionary fill
+	par.For(workers, nTerms, func(t int) {
+		addDocs, addPos := 0, 0
+		for ci := range chunks {
+			l := &chunks[ci].lists[t]
+			addDocs += len(l.docs)
+			addPos += len(l.positions)
+		}
+		if addDocs == 0 {
+			return
+		}
+		df[t] = int32(addDocs)
+		old := merged[t]
+		out := postingList{
+			docs:      make([]int32, 0, len(old.docs)+addDocs),
+			starts:    make([]int32, 0, len(old.starts)+addDocs),
+			positions: make([]int32, 0, len(old.positions)+addPos),
+		}
+		out.docs = append(out.docs, old.docs...)
+		out.starts = append(out.starts, old.starts...)
+		out.positions = append(out.positions, old.positions...)
+		for ci := range chunks {
+			l := &chunks[ci].lists[t]
+			off := int32(len(out.positions))
+			out.docs = append(out.docs, l.docs...)
+			for _, s := range l.starts {
+				out.starts = append(out.starts, s+off)
+			}
+			out.positions = append(out.positions, l.positions...)
+		}
+		merged[t] = out
+	})
+	e.raw = merged
+
+	// Phase 5: documents and dictionary.
+	newDocs := make([]Doc, base+nd)
+	copy(newDocs, e.Docs)
+	for di := range docs {
+		newDocs[base+di] = Doc{ID: base + di, Text: docs[di].text, Tokens: tokenIDs[di], Topic: docs[di].topic}
+	}
+	e.Docs = newDocs
+	for t := 0; t < nTerms; t++ {
+		if df[t] > 0 {
+			e.dict.AddTermDocs(e.vocab.Token(uint32(t)), int(df[t]))
+		}
+	}
+	e.dict.AddDocs(nd)
+}

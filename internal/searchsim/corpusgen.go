@@ -65,11 +65,13 @@ const backgroundShardSize = 64
 //     across random topics, so their mined keywords stay diffuse (the
 //     Table II effect).
 //
-// Generation and tokenization fan out across cfg.Workers: shard i covers
+// The whole build fans out across cfg.Workers: generation shard i covers
 // concept i (the last shards cover background documents), each shard draws
-// from rand.NewSource(par.Seed(cfg.Seed, i)), and the shards are indexed in
-// shard order on one goroutine — so the corpus is bit-identical regardless
-// of worker count or scheduling.
+// from rand.NewSource(par.Seed(cfg.Seed, i)); the generated documents are
+// then indexed by the bulk parallel pipeline (bulkindex.go) and frozen with
+// per-term parallel compression. Every stage is deterministic in content, so
+// the corpus and index are bit-identical regardless of worker count or
+// scheduling.
 func BuildCorpus(w *world.World, cfg CorpusConfig) *Engine {
 	cfg = cfg.withDefaults(w)
 
@@ -88,16 +90,21 @@ func BuildCorpus(w *world.World, cfg CorpusConfig) *Engine {
 		return backgroundDocs(w, cfg, hi-lo, rng)
 	})
 
-	e := NewEngine()
+	total := 0
 	for _, shard := range shards {
-		for _, d := range shard {
-			e.addTokenized(d.text, d.tokens, d.topic)
-		}
+		total += len(shard)
 	}
+	docs := make([]rawDoc, 0, total)
+	for _, shard := range shards {
+		docs = append(docs, shard...)
+	}
+
+	e := NewEngine()
+	e.indexTokenized(docs, cfg.Workers)
 	// Generated corpora are never mutated after construction: freeze into the
-	// compressed immutable index so every downstream miner queries Golomb
+	// compressed immutable index so every downstream miner queries compressed
 	// posting lists and the memoized ResultCount.
-	e.Freeze()
+	e.FreezeWorkers(cfg.Workers)
 	return e
 }
 

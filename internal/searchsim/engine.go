@@ -18,6 +18,7 @@ import (
 
 	"contextrank/internal/corpus"
 	"contextrank/internal/match"
+	"contextrank/internal/par"
 	"contextrank/internal/textproc"
 )
 
@@ -54,6 +55,7 @@ type Engine struct {
 	dict   *corpus.Dictionary
 	cache  *countCache // ResultCount memo; created by Freeze
 	stats  IndexStats  // size accounting captured by Freeze
+	stopID []bool      // term id -> is a stopword; built by Freeze for the id-keyed miners
 }
 
 // NewEngine creates an empty engine.
@@ -93,29 +95,48 @@ func (e *Engine) addTokenized(text string, tokens []string, topic int) int {
 	return id
 }
 
-// Freeze compresses every posting list with the Golomb delta coder and drops
-// the raw lists, making the engine immutable. Queries keep working — served
-// from the compressed lists via skip-block partial decoding — and
-// ResultCount becomes memoized (memoization is sound precisely because the
-// index can no longer change). Freeze is idempotent.
-func (e *Engine) Freeze() {
+// Freeze compresses every posting list with the Golomb delta coder (or a doc
+// bitmap for dense terms) and drops the raw lists, making the engine
+// immutable. Queries keep working — served from the compressed lists via
+// skip-block partial decoding — and ResultCount becomes memoized
+// (memoization is sound precisely because the index can no longer change).
+// Freeze is idempotent.
+func (e *Engine) Freeze() { e.FreezeWorkers(1) }
+
+// FreezeWorkers is Freeze with the per-term compression fanned out across
+// workers (internal/par semantics: 0 means NumCPU). freezeList is a pure
+// function of one raw list, so the frozen index is bit-identical at every
+// worker count; the stats pass stays serial.
+//
+//kw:builder
+func (e *Engine) FreezeWorkers(workers int) {
 	if e.frozen != nil {
 		return
 	}
 	raw := e.raw
 	fr := make([]frozenList, len(raw))
+	par.For(workers, len(raw), func(i int) {
+		fr[i] = freezeList(&raw[i])
+	})
 	st := IndexStats{Frozen: true}
 	for i := range raw {
 		st.Postings += len(raw[i].docs)
 		st.Positions += len(raw[i].positions)
 		st.RawBytes += raw[i].rawBytes()
-		fr[i] = freezeList(&raw[i])
 		st.FrozenBytes += fr[i].frozenBytes()
+		if fr[i].docBits != nil {
+			st.BitmapTerms++
+		}
+	}
+	stop := make([]bool, e.vocab.Len())
+	for id := range stop {
+		stop[id] = textproc.IsStopword(e.vocab.Token(uint32(id)))
 	}
 	e.frozen = fr
 	e.raw = nil // release the raw postings; the compressed lists answer everything
 	e.stats = st
 	e.cache = newCountCache()
+	e.stopID = stop
 }
 
 // Frozen reports whether Freeze has run.
@@ -168,9 +189,11 @@ type IndexStats struct {
 
 	// RawBytes is the int32 payload of the uncompressed posting lists;
 	// FrozenBytes is the resident footprint of the Golomb streams plus skip
-	// tables. Captured at Freeze time.
+	// tables. Captured at Freeze time. BitmapTerms counts the dense terms
+	// whose frozen doc stream is a bitmap rather than a Golomb gap list.
 	RawBytes    int  `json:"raw_bytes"`
 	FrozenBytes int  `json:"frozen_bytes"`
+	BitmapTerms int  `json:"bitmap_terms"`
 	Frozen      bool `json:"frozen"`
 
 	CacheHits   int64 `json:"result_count_cache_hits"`
@@ -463,23 +486,52 @@ func (e *Engine) Snippet(docID int, phrase string) string {
 	return e.snippetAt(docID, int(at), len(terms))
 }
 
-// Snippets returns the snippets of the top-k results for phrase. The paper
-// uses the snippets of the first hundred results as the best resource for
-// relevant-keyword mining. The phrase is evaluated once: each snippet reuses
-// the first-occurrence position recorded on the phrase hit instead of
-// rescanning the document.
-func (e *Engine) Snippets(phrase string, k int) []string {
-	terms := textproc.Words(phrase)
+// visitHits evaluates phrase once, ranks the top-k results, and calls fn for
+// each result in rank order with its doc id and the position of the first
+// phrase occurrence (recovered from the phrase hit — the document is never
+// rescanned). Shared kernel of Snippets and VisitSnippetTokens.
+func (e *Engine) visitHits(terms []string, k int, fn func(docID, at int)) {
 	sc := getScratch()
 	defer putScratch(sc)
 	hits := e.phraseHits(e.internIDs(terms, sc), sc)
 	results := e.rankHits(terms, hits, k)
-	out := make([]string, 0, len(results))
 	for _, r := range results {
 		// hits are in ascending doc order; recover this result's hit to
 		// reuse its first-occurrence position.
 		i := sort.Search(len(hits), func(i int) bool { return hits[i].doc >= r.DocID })
-		out = append(out, e.snippetAt(r.DocID, int(hits[i].first), len(terms)))
+		fn(r.DocID, int(hits[i].first))
 	}
+}
+
+// Snippets returns the snippets of the top-k results for phrase. The paper
+// uses the snippets of the first hundred results as the best resource for
+// relevant-keyword mining.
+func (e *Engine) Snippets(phrase string, k int) []string {
+	terms := textproc.Words(phrase)
+	out := make([]string, 0, k)
+	e.visitHits(terms, k, func(docID, at int) {
+		out = append(out, e.snippetAt(docID, at, len(terms)))
+	})
 	return out
+}
+
+// VisitSnippetTokens is the string-free twin of Snippets for the interned
+// relevance miner: visit is called once per top-k result in rank order with
+// the document's interned token slice and the snippet window bounds [lo, hi)
+// — the same window snippetAt renders. The token slice aliases engine-owned
+// storage and must not be modified or retained.
+func (e *Engine) VisitSnippetTokens(phrase string, k int, visit func(tokens []uint32, lo, hi int)) {
+	terms := textproc.Words(phrase)
+	e.visitHits(terms, k, func(docID, at int) {
+		d := &e.Docs[docID]
+		lo := at - SnippetWidth
+		if lo < 0 {
+			lo = 0
+		}
+		hi := at + len(terms) + SnippetWidth
+		if hi > len(d.Tokens) {
+			hi = len(d.Tokens)
+		}
+		visit(d.Tokens, lo, hi)
+	})
 }

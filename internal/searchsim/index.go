@@ -16,11 +16,21 @@ package searchsim
 //     skipInterval-1 gaps — positions are only ever decoded for blocks the
 //     intersection actually visits.
 //
+// High-document-frequency terms additionally get a roaring-style doc-id
+// bitmap instead of the Golomb doc stream (DESIGN.md §10): when a term
+// appears in a large fraction of the corpus its doc gaps are tiny and the
+// unary-heavy Golomb stream approaches one-plus bits per doc, so a plain
+// bitmap is both smaller and decodes with bit tricks instead of a per-gap
+// decoder loop. freezeList picks the representation per term by exact
+// byte count; the skip table (block-first docs) is kept either way, so the
+// cursor's galloping seek is unchanged and only block decoding dispatches.
+//
 // Both representations are evaluated by the same termCursor/leapfrog code
 // below; differential tests pin them to each other and to the reference
 // string-scanning engine bit for bit.
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -73,6 +83,12 @@ type frozenList struct {
 	freqData          []byte // freq-1 per doc
 	posData           []byte // per doc: first position, then gap-1 deltas; restarts every doc
 
+	// docBits, when non-nil, replaces docData/skipDocBits for dense terms:
+	// bit d set means doc d contains the term. skipFirstDoc is retained so
+	// seekFrozen's binary search and the block-ordinal bookkeeping work
+	// identically in both representations.
+	docBits []uint64
+
 	skipFirstDoc []int32 // first doc id of block k, uncompressed
 	skipDocBits  []int32 // bit offset in docData of block k's second doc
 	skipFreqBits []int32 // bit offset in freqData of block k's first freq
@@ -81,12 +97,24 @@ type frozenList struct {
 
 // frozenBytes is the resident footprint of the compressed list.
 func (fl *frozenList) frozenBytes() int {
-	return len(fl.docData) + len(fl.freqData) + len(fl.posData) +
+	return len(fl.docData) + len(fl.freqData) + len(fl.posData) + 8*len(fl.docBits) +
 		4*(len(fl.skipFirstDoc)+len(fl.skipDocBits)+len(fl.skipFreqBits)+len(fl.skipPosBits))
 }
 
-// freezeList compresses one raw posting list.
-func freezeList(pl *postingList) frozenList {
+// Representation override for freezeListAs, used by the equivalence property
+// tests; production code always passes freezeAuto.
+const (
+	freezeAuto = iota
+	freezeGolombDocs
+	freezeBitmapDocs
+)
+
+// freezeList compresses one raw posting list, choosing the smaller doc-id
+// representation (Golomb gap stream vs bitmap) per term.
+func freezeList(pl *postingList) frozenList { return freezeListAs(pl, freezeAuto) }
+
+// freezeListAs is freezeList with a forced doc-id representation.
+func freezeListAs(pl *postingList, mode int) frozenList {
 	n := len(pl.docs)
 	fl := frozenList{nDocs: int32(n), nPos: int32(len(pl.positions))}
 	if n == 0 {
@@ -136,6 +164,22 @@ func freezeList(pl *postingList) frozenList {
 	fl.docData = docW.Bytes()
 	fl.freqData = freqW.Bytes()
 	fl.posData = posW.Bytes()
+
+	// Dense terms: switch the doc stream to a bitmap when it is strictly
+	// smaller than the Golomb bytes plus the per-block bit offsets it
+	// replaces, so FrozenBytes can only shrink. Freq/pos streams and the
+	// uncompressed block-first docs are unaffected.
+	words := int(pl.docs[n-1])/64 + 1
+	bitmapSmaller := 8*words < len(fl.docData)+4*len(fl.skipDocBits)
+	if mode == freezeBitmapDocs || (mode == freezeAuto && bitmapSmaller) {
+		bitsArr := make([]uint64, words)
+		for _, d := range pl.docs {
+			bitsArr[d>>6] |= 1 << (uint(d) & 63)
+		}
+		fl.docBits = bitsArr
+		fl.docData = nil
+		fl.skipDocBits = nil
+	}
 	return fl
 }
 
@@ -279,7 +323,8 @@ func (c *termCursor) seekFrozen(d int32) (int32, bool) {
 	return 0, false
 }
 
-// loadBlock decodes the doc ids of skip block k.
+// loadBlock decodes the doc ids of skip block k, dispatching per-term on the
+// frozen doc representation (Golomb gap stream vs dense bitmap).
 func (c *termCursor) loadBlock(k int) {
 	fl := c.fl
 	count := int(fl.nDocs) - k*skipInterval
@@ -290,6 +335,10 @@ func (c *termCursor) loadBlock(k int) {
 	c.freqLoaded, c.posLoaded = false, false
 	v := fl.skipFirstDoc[k]
 	c.docs[0] = v
+	if fl.docBits != nil {
+		c.loadBlockBitmap(v, count)
+		return
+	}
 	dec := golomb.NewDecoderAt(fl.docData, fl.docM, int(fl.skipDocBits[k]))
 	for j := 1; j < count; j++ {
 		g, err := dec.Next()
@@ -298,6 +347,28 @@ func (c *termCursor) loadBlock(k int) {
 		}
 		v += int32(g) + 1
 		c.docs[j] = v
+	}
+}
+
+// loadBlockBitmap fills the block's remaining doc ids from the doc bitmap:
+// after the block-first doc v (from the skip table), the next count-1 set
+// bits are extracted word by word with trailing-zero counts — no per-gap
+// decoder state, which is what makes the bitmap path fast for dense terms.
+//
+//kw:hotpath
+func (c *termCursor) loadBlockBitmap(v int32, count int) {
+	bm := c.fl.docBits
+	w := int(v) >> 6
+	// Mask away bit v and everything below it; a shift of 64 (v at bit 63)
+	// yields 0 in Go, emptying the word as required.
+	word := bm[w] & (^uint64(0) << (uint(v)&63 + 1))
+	for j := 1; j < count; j++ {
+		for word == 0 {
+			w++
+			word = bm[w]
+		}
+		c.docs[j] = int32(w<<6 | bits.TrailingZeros64(word))
+		word &= word - 1
 	}
 }
 

@@ -32,10 +32,15 @@ type Suggestor struct {
 // NewSuggestor builds a suggestion service over the query log.
 func NewSuggestor(l *querylog.Log) *Suggestor { return &Suggestor{log: l} }
 
-// Suggest returns up to max (or SuggestionLimit if max <= 0) suggestions for
-// query, most frequent first, ties broken by text. The query itself is not
-// included.
-func (s *Suggestor) Suggest(query string, max int) []Suggestion {
+// Log returns the query log backing the suggestion service (the interned
+// relevance miner keys its scratch by the log's term ids).
+func (s *Suggestor) Log() *querylog.Log { return s.log }
+
+// suggestIndexes is the Suggest kernel: the ranked suggestion list as
+// query-log indexes. Phrase-containing queries come first, then shared-term
+// matches fill the budget, each group sorted by (frequency desc, text asc).
+// Returns nil only for an empty query.
+func (s *Suggestor) suggestIndexes(query string, max int) []int32 {
 	if max <= 0 || max > SuggestionLimit {
 		max = SuggestionLimit
 	}
@@ -75,33 +80,58 @@ func (s *Suggestor) Suggest(query string, max int) []Suggestion {
 		}
 	}
 
-	build := func(idxs []int32) []Suggestion {
-		out := make([]Suggestion, 0, len(idxs))
-		for _, idx := range idxs {
-			q := s.log.Query(int(idx))
-			out = append(out, Suggestion{Text: q.Text, Freq: q.Freq})
-		}
-		sort.Slice(out, func(i, j int) bool {
-			if out[i].Freq != out[j].Freq {
-				return out[i].Freq > out[j].Freq
+	rank := func(idxs []int32) {
+		sort.Slice(idxs, func(i, j int) bool {
+			qi, qj := s.log.Query(int(idxs[i])), s.log.Query(int(idxs[j]))
+			if qi.Freq != qj.Freq {
+				return qi.Freq > qj.Freq
 			}
-			return out[i].Text < out[j].Text
+			return qi.Text < qj.Text
 		})
-		return out
 	}
-	suggestions := build(phraseMatches)
-	if len(suggestions) < max {
-		rest := build(termMatches)
-		need := max - len(suggestions)
-		if len(rest) > need {
-			rest = rest[:need]
+	rank(phraseMatches)
+	out := phraseMatches
+	if len(out) < max {
+		rank(termMatches)
+		need := max - len(out)
+		if len(termMatches) > need {
+			termMatches = termMatches[:need]
 		}
-		suggestions = append(suggestions, rest...)
+		out = append(out, termMatches...)
 	}
-	if len(suggestions) > max {
-		suggestions = suggestions[:max]
+	if len(out) > max {
+		out = out[:max]
 	}
-	return suggestions
+	if out == nil {
+		out = []int32{} // valid query, no matches: non-nil like the pre-kernel API
+	}
+	return out
+}
+
+// Suggest returns up to max (or SuggestionLimit if max <= 0) suggestions for
+// query, most frequent first, ties broken by text. The query itself is not
+// included.
+func (s *Suggestor) Suggest(query string, max int) []Suggestion {
+	idxs := s.suggestIndexes(query, max)
+	if idxs == nil {
+		return nil
+	}
+	out := make([]Suggestion, len(idxs))
+	for i, idx := range idxs {
+		q := s.log.Query(int(idx))
+		out[i] = Suggestion{Text: q.Text, Freq: q.Freq}
+	}
+	return out
+}
+
+// VisitSuggestions streams the Suggest results as query-log indexes with
+// their frequencies, in Suggest order — the string-free path the interned
+// relevance miner consumes (suggestion terms arrive as Log.TermIDs ids, so
+// no suggestion text is materialized or re-tokenized).
+func (s *Suggestor) VisitSuggestions(query string, max int, visit func(queryIndex int32, freq int)) {
+	for _, idx := range s.suggestIndexes(query, max) {
+		visit(idx, s.log.Query(int(idx)).Freq)
+	}
 }
 
 // containsPhrase reports whether hay contains needle contiguously (shared

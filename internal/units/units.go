@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"contextrank/internal/match"
 	"contextrank/internal/querylog"
@@ -297,15 +298,39 @@ func (s *Set) FindInIDs(ids []uint32, dst []Match) []Match {
 // validated units with score above minScore. This powers the paper's
 // interestingness feature (7) "subconcepts".
 func (s *Set) SubconceptCount(phrase string, minScore float64) int {
-	terms := strings.Fields(phrase)
+	return s.SubconceptCountTerms(strings.Fields(phrase), minScore)
+}
+
+// subKeyPool pools the sub-phrase key buffer of SubconceptCountTerms.
+var subKeyPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// SubconceptCountTerms is SubconceptCount over a pre-split phrase — the
+// feature extractor splits each concept once and reuses the terms across
+// every per-term feature. Sub-phrase keys are assembled in a pooled buffer
+// and probed with the map's string-conversion elision, so counting performs
+// zero allocations.
+func (s *Set) SubconceptCountTerms(terms []string, minScore float64) int {
+	if len(terms) <= 2 {
+		return 0
+	}
+	kp := subKeyPool.Get().(*[]byte)
+	key := (*kp)[:0]
 	count := 0
 	for n := 2; n < len(terms); n++ {
 		for i := 0; i+n <= len(terms); i++ {
-			g := strings.Join(terms[i:i+n], " ")
-			if u := s.units[g]; u != nil && u.Score > minScore {
+			key = key[:0]
+			for j := i; j < i+n; j++ {
+				if j > i {
+					key = append(key, ' ')
+				}
+				key = append(key, terms[j]...)
+			}
+			if u := s.units[string(key)]; u != nil && u.Score > minScore {
 				count++
 			}
 		}
 	}
+	*kp = key
+	subKeyPool.Put(kp)
 	return count
 }

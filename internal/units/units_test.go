@@ -227,6 +227,7 @@ func BenchmarkExtract(b *testing.B) {
 	w := world.New(world.Config{Seed: 21, VocabSize: 1200, NumTopics: 8, NumConcepts: 200})
 	l := querylog.Generate(w, querylog.Config{Seed: 22})
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Extract(l, Config{})
 	}
