@@ -73,10 +73,15 @@ bench:
 
 # Deterministic fault injection under -race with a pinned seed: the chaos
 # tests derive their expected recovery counters from CHAOS_SEED, so any
-# seed must pass — CI runs a small seed matrix.
+# seed must pass — CI runs a small seed matrix. The second line is the
+# cluster tier: ring/router/breaker/hedge unit suites plus the
+# multi-process differential test (cmd/router + three cmd/serve -shard
+# processes byte-compared against a single-process engine under planned
+# faults).
 CHAOS_SEED ?= 42
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'TestChaos|TestOverload|TestShed|TestDeadline|TestQueued|TestGracefulDrain|TestProbe' ./internal/serve/ ./internal/resilience/ ./cmd/serve/
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run 'TestRing|TestRouter|TestBreaker|TestHedge|TestQuota|TestCluster|TestFlap|TestRetry|TestCache' ./internal/cluster/ ./internal/resilience/ ./internal/serve/ ./cmd/router/
 
 # verify is the full CI gate, runnable locally with one command.
 verify: build vet lint race bench chaos

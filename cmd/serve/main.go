@@ -60,6 +60,10 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "admission gate: max time a request waits for a slot")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline after SIGTERM")
 	cacheSize := flag.Int("cache-size", 1024, "annotation response cache capacity in entries (0 = disabled)")
+	fillTimeout := flag.Duration("fill-timeout", 0, "detached cache-fill bound (0 = 2x request-timeout, min 5s)")
+	shardMode := flag.Bool("shard", false, "run as a cluster shard behind cmd/router: trust the router's X-Deadline-Ms budget")
+	quotaBurst := flag.Int("quota-burst", 0, "per-tenant token-bucket burst (0 = quotas disabled)")
+	quotaRate := flag.Float64("quota-rate", 0, "per-tenant token refill rate per second (0 = pure burst budget)")
 	pprofAddr := flag.String("pprof-addr", "", "if set, expose net/http/pprof on this separate listener (e.g. localhost:6060); never exposed on the serving address")
 
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (used when any -chaos-*-p is > 0)")
@@ -120,7 +124,12 @@ func main() {
 	srv.Timeout = *requestTimeout
 	srv.Gate = resilience.NewGate(*maxInflight, *queueLen, *queueWait)
 	srv.Cache = serve.NewCache(*cacheSize)
+	if srv.Cache != nil {
+		srv.Cache.FillTimeout = cacheFillTimeout(*fillTimeout, *requestTimeout)
+	}
 	srv.IndexStats = inner.Engine.Stats
+	srv.TrustForwardedDeadline = *shardMode
+	srv.Quota = resilience.NewQuota(resilience.QuotaConfig{Burst: *quotaBurst, RatePerSec: *quotaRate})
 
 	if *pprofAddr != "" {
 		stop, err := startPprof(*pprofAddr, os.Stderr)
@@ -193,6 +202,20 @@ func startPprof(addr string, logw io.Writer) (func(), error) {
 	}()
 	fmt.Fprintf(logw, "pprof on http://%s/debug/pprof/\n", ln.Addr())
 	return func() { server.Close() }, nil
+}
+
+// cacheFillTimeout sizes the detached cache-fill bound: explicit flag
+// wins; otherwise twice the request deadline (a fill that two full
+// request budgets cannot finish is not worth keeping alive) with the
+// package default as the floor.
+func cacheFillTimeout(flagValue, requestTimeout time.Duration) time.Duration {
+	if flagValue > 0 {
+		return flagValue
+	}
+	if derived := 2 * requestTimeout; derived > serve.DefaultFillTimeout {
+		return derived
+	}
+	return serve.DefaultFillTimeout
 }
 
 // writeTimeout sizes the http.Server write deadline around the request

@@ -1,7 +1,7 @@
 // Package ctxflow implements the kwlint analyzer that keeps the request
-// path context-threaded: inside the serve and resilience layers, no code
-// may mint a fresh root context, and every timer must have a cleanup
-// path.
+// path context-threaded: inside the serve, resilience, and cluster
+// routing layers, no code may mint a fresh root context, and every timer
+// must have a cleanup path.
 //
 // The resilience layer's whole contract (DESIGN.md §8) is that
 // deadlines, admission decisions, and degradation flags ride the
@@ -36,8 +36,11 @@ import (
 )
 
 // DefaultPackages scopes the analyzer to the layers whose contract is
-// context threading: the HTTP serve layer and the resilience middleware.
-const DefaultPackages = "internal/serve,internal/resilience"
+// context threading: the HTTP serve layer, the resilience middleware, and
+// the cluster routing tier (router + cmd/router), where a detached
+// context would sever failover and hedge cancellation from the request
+// budget.
+const DefaultPackages = "internal/serve,internal/resilience,internal/cluster,cmd/router"
 
 var scope = kwutil.NewScope(DefaultPackages)
 

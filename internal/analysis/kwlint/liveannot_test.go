@@ -23,6 +23,9 @@ import (
 // Keys are repo-root-relative files; entries are "decl directive",
 // with methods and fields qualified by their receiver/struct type.
 var liveAnnotations = map[string][]string{
+	"internal/cluster/router.go": {
+		"Router.flights //kw:guardedby(fmu)",
+	},
 	"internal/core/system.go": {
 		"System.extendedCache //kw:guardedby(cacheMu)",
 		"System.fieldsCache //kw:guardedby(cacheMu)",
@@ -45,6 +48,16 @@ var liveAnnotations = map[string][]string{
 	},
 	"internal/searchsim/cache.go": {
 		"countShard.m //kw:guardedby(mu)",
+	},
+	"internal/resilience/breaker.go": {
+		"Breaker.state //kw:guardedby(mu)",
+		"Breaker.consecFails //kw:guardedby(mu)",
+		"Breaker.remainingSkips //kw:guardedby(mu)",
+		"Breaker.opens //kw:guardedby(mu)",
+		"Breaker.open //kw:holds(mu)",
+	},
+	"internal/resilience/quota.go": {
+		"Quota.buckets //kw:guardedby(mu)",
 	},
 	"internal/relevance/interned.go": {
 		"Miner.finalizeIDs //kw:fresh",

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministicPlacement: two rings built from the same names must
+// agree on every replica set — the property that lets any router (and any
+// test) re-derive shard placement independently.
+func TestRingDeterministicPlacement(t *testing.T) {
+	names := []string{"shard0", "shard1", "shard2"}
+	a := NewRing(names, 0)
+	b := NewRing(names, 0)
+	for key := uint64(0); key < 10_000; key += 97 {
+		ra, rb := a.Replicas(key, 2), b.Replicas(key, 2)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("key %d: placement diverged: %v vs %v", key, ra, rb)
+		}
+	}
+}
+
+// TestRingReplicasDistinct: the replica set never repeats a shard and is
+// clamped to the shard count.
+func TestRingReplicasDistinct(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 16)
+	for key := uint64(0); key < 1000; key++ {
+		reps := r.Replicas(key, 5) // asks for more than exist
+		if len(reps) != 3 {
+			t.Fatalf("key %d: got %d replicas, want 3", key, len(reps))
+		}
+		seen := map[int]bool{}
+		for _, s := range reps {
+			if seen[s] {
+				t.Fatalf("key %d: duplicate shard in %v", key, reps)
+			}
+			seen[s] = true
+		}
+	}
+	if got := r.Replicas(1, 0); got != nil {
+		t.Fatalf("n=0 returned %v", got)
+	}
+}
+
+// TestRingBalance: with default vnodes, primary ownership across shards
+// should be within a loose band of uniform — consistent hashing's point.
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 4, 20_000
+	names := make([]string, shards)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard%d", i)
+	}
+	r := NewRing(names, 0)
+	counts := make([]int, shards)
+	for key := uint64(0); key < keys; key++ {
+		counts[r.Replicas(key*0x9e3779b97f4a7c15, 1)[0]]++ // golden-ratio spread over the full 64-bit ring
+	}
+	for i, c := range counts {
+		if c < keys/shards/3 || c > keys*3/shards {
+			t.Fatalf("shard %d owns %d of %d keys: imbalance beyond 3x band (%v)", i, c, keys, counts)
+		}
+	}
+}
+
+// TestRingStablePlacementOnShardLoss: removing one shard must not remap
+// keys whose replica set did not involve it — the reshuffle-minimality
+// property that makes consistent hashing worth its complexity.
+func TestRingStablePlacementOnShardLoss(t *testing.T) {
+	full := NewRing([]string{"a", "b", "c", "d"}, 0)
+	reduced := NewRing([]string{"a", "b", "c"}, 0) // "d" removed
+	moved := 0
+	const keys = 5000
+	for key := uint64(0); key < keys; key++ {
+		before := full.Replicas(key*0x9e3779b97f4a7c15, 1)[0]
+		after := reduced.Replicas(key*0x9e3779b97f4a7c15, 1)[0]
+		if before == 3 {
+			continue // owned by the removed shard: must move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed shard were remapped", moved)
+	}
+}

@@ -1,0 +1,223 @@
+package resilience
+
+import (
+	"sync"
+
+	"contextrank/internal/par"
+)
+
+// BreakerState is the circuit-breaker state machine position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow normally; consecutive failures are
+	// counted toward the trip threshold.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the shard is shed; a seeded number of routed requests
+	// skip it before the breaker moves to half-open.
+	BreakerOpen
+	// BreakerHalfOpen: exactly one probe request is in flight; its outcome
+	// closes the breaker or re-opens it with the next cooldown draw.
+	BreakerHalfOpen
+)
+
+// String names the state for /statz.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerDecision is the per-request admission verdict of Allow.
+type BreakerDecision int
+
+const (
+	// BreakerProceed: the breaker is closed; route the request.
+	BreakerProceed BreakerDecision = iota
+	// BreakerProbe: the breaker was half-open and this request claimed the
+	// single probe slot; its outcome must be reported.
+	BreakerProbe
+	// BreakerSkip: the shard is shed; route to the next replica.
+	BreakerSkip
+)
+
+// BreakerConfig parameterizes a per-shard circuit breaker. The cooldown
+// schedule is derived from (Seed, Stream) with the same splitmix64 mix as
+// the parallel pipeline, so a fixed seed fixes the entire probe schedule —
+// the k-th open always sheds exactly BreakerCooldownAt(cfg, k) requests
+// before half-opening, and tests re-derive expected skip counts by
+// replaying that pure function.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that open the
+	// breaker. Values <= 0 disable the breaker (NewBreaker returns nil).
+	Threshold int
+	// MinSkip / MaxSkip bound each cooldown, measured in routed requests
+	// (not wall clock — request counts keep the schedule deterministic).
+	// Defaults 4 and 8.
+	MinSkip, MaxSkip int
+	// Seed fixes the cooldown schedule; Stream is the per-shard stream
+	// index (its position in the ring), so shards draw independent
+	// schedules from one seed.
+	Seed   int64
+	Stream int
+}
+
+func (cfg BreakerConfig) skipBounds() (lo, hi int) {
+	lo, hi = cfg.MinSkip, cfg.MaxSkip
+	if lo <= 0 {
+		lo = 4
+	}
+	if hi < lo {
+		hi = lo + 4
+	}
+	return lo, hi
+}
+
+// BreakerCooldownAt is the pure probe-schedule function: how many routed
+// requests the k-th open (0-based) sheds before the breaker half-opens.
+// Tests replay it to predict exact breaker_skips counters.
+func BreakerCooldownAt(cfg BreakerConfig, k int) int {
+	lo, hi := cfg.skipBounds()
+	span := uint64(hi - lo + 1)
+	v := uint64(par.Seed(par.Seed(cfg.Seed, cfg.Stream), k))
+	return lo + int(v%span)
+}
+
+// Breaker is a deterministic per-shard circuit breaker:
+// closed → open → half-open, with request-count cooldowns drawn from a
+// seeded splitmix64 stream. A nil *Breaker is a valid "disabled" value;
+// callers treat it as always-Proceed.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	//kw:guardedby(mu)
+	state BreakerState
+	//kw:guardedby(mu)
+	consecFails int
+	//kw:guardedby(mu)
+	remainingSkips int
+	//kw:guardedby(mu)
+	opens int64
+}
+
+// NewBreaker builds a breaker, or returns nil when cfg.Threshold <= 0
+// (breaking disabled).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		return nil
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow is consulted once per request the router is about to route to this
+// shard. While open it decrements the cooldown and sheds; when the cooldown
+// is spent it claims the single half-open probe slot.
+func (b *Breaker) Allow() BreakerDecision {
+	if b == nil {
+		return BreakerProceed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return BreakerProceed
+	case BreakerOpen:
+		if b.remainingSkips > 0 {
+			b.remainingSkips--
+			return BreakerSkip
+		}
+		b.state = BreakerHalfOpen
+		return BreakerProbe
+	default: // BreakerHalfOpen: one probe is already in flight.
+		return BreakerSkip
+	}
+}
+
+// OnSuccess reports a completed request (or probe) that succeeded: the
+// failure streak resets and a half-open breaker closes.
+func (b *Breaker) OnSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	b.state = BreakerClosed
+}
+
+// OnFailure reports a genuine failed attempt (transport error, shard 5xx,
+// per-try deadline) — never a cancellation. A half-open probe failure
+// re-opens with the next cooldown draw; a closed breaker opens once the
+// streak reaches the threshold.
+func (b *Breaker) OnFailure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.open()
+		return
+	}
+	b.consecFails++
+	if b.state == BreakerClosed && b.consecFails >= b.cfg.Threshold {
+		b.open()
+	}
+}
+
+// OnCanceledProbe reverts a half-open probe whose attempt was cancelled
+// before completing (e.g. the request's hedge won): the probe consumed no
+// evidence, so the breaker re-opens with a spent cooldown — the next
+// routed request probes again immediately instead of the state wedging in
+// half-open forever.
+func (b *Breaker) OnCanceledProbe() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.remainingSkips = 0
+	}
+}
+
+// open transitions to BreakerOpen and draws the next cooldown. Callers
+// hold b.mu.
+//
+//kw:holds(mu)
+func (b *Breaker) open() {
+	k := int(b.opens)
+	b.opens++
+	b.state = BreakerOpen
+	b.remainingSkips = BreakerCooldownAt(b.cfg, k)
+	b.consecFails = 0
+}
+
+// State reports the current position of the state machine.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens is the number of times the breaker has tripped (also the index of
+// the next cooldown draw).
+func (b *Breaker) Opens() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

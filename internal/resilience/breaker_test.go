@@ -1,0 +1,140 @@
+package resilience
+
+import "testing"
+
+func testBreakerCfg(stream int) BreakerConfig {
+	return BreakerConfig{Threshold: 3, MinSkip: 2, MaxSkip: 5, Seed: 42, Stream: stream}
+}
+
+// TestBreakerCooldownSchedule: the cooldown is a pure function of
+// (seed, stream, open index), bounded by [MinSkip, MaxSkip], and distinct
+// streams draw distinct schedules from one seed.
+func TestBreakerCooldownSchedule(t *testing.T) {
+	cfg := testBreakerCfg(0)
+	for k := 0; k < 100; k++ {
+		c := BreakerCooldownAt(cfg, k)
+		if c < 2 || c > 5 {
+			t.Fatalf("cooldown(%d) = %d outside [2,5]", k, c)
+		}
+		if c != BreakerCooldownAt(cfg, k) {
+			t.Fatalf("cooldown(%d) not deterministic", k)
+		}
+	}
+	same := true
+	other := testBreakerCfg(1)
+	for k := 0; k < 16 && same; k++ {
+		same = BreakerCooldownAt(cfg, k) == BreakerCooldownAt(other, k)
+	}
+	if same {
+		t.Fatal("streams 0 and 1 drew identical 16-draw schedules")
+	}
+}
+
+// TestBreakerStateMachine walks closed → open → half-open → closed and
+// asserts the exact seeded skip counts at each transition.
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := testBreakerCfg(0)
+	b := NewBreaker(cfg)
+	// Failures below the threshold keep it closed; a success resets.
+	b.OnFailure()
+	b.OnFailure()
+	b.OnSuccess()
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v before threshold", b.State())
+	}
+	b.OnFailure() // streak of 3: trips
+	if b.State() != BreakerOpen || b.Opens() != 1 {
+		t.Fatalf("state %v opens %d after threshold", b.State(), b.Opens())
+	}
+	// Exactly cooldown(0) requests are shed, then the next one probes.
+	cool := BreakerCooldownAt(cfg, 0)
+	for i := 0; i < cool; i++ {
+		if d := b.Allow(); d != BreakerSkip {
+			t.Fatalf("request %d during cooldown: %v, want skip", i, d)
+		}
+	}
+	if d := b.Allow(); d != BreakerProbe {
+		t.Fatalf("after cooldown: %v, want probe", d)
+	}
+	// While the probe is in flight every other request is shed.
+	if d := b.Allow(); d != BreakerSkip {
+		t.Fatalf("during probe: %v, want skip", d)
+	}
+	b.OnSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe", b.State())
+	}
+	if d := b.Allow(); d != BreakerProceed {
+		t.Fatalf("closed breaker: %v, want proceed", d)
+	}
+}
+
+// TestBreakerFailedProbeReopens: a failed probe re-opens with the next
+// cooldown draw, not the first one again.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	cfg := testBreakerCfg(0)
+	b := NewBreaker(cfg)
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+	for i := 0; i < BreakerCooldownAt(cfg, 0); i++ {
+		b.Allow()
+	}
+	if d := b.Allow(); d != BreakerProbe {
+		t.Fatalf("want probe, got %v", d)
+	}
+	b.OnFailure() // probe failed
+	if b.State() != BreakerOpen || b.Opens() != 2 {
+		t.Fatalf("state %v opens %d after failed probe", b.State(), b.Opens())
+	}
+	cool1 := BreakerCooldownAt(cfg, 1)
+	skips := 0
+	for b.Allow() == BreakerSkip {
+		skips++
+	}
+	if skips != cool1 {
+		t.Fatalf("second cooldown shed %d, want cooldown(1)=%d", skips, cool1)
+	}
+}
+
+// TestBreakerCanceledProbeRearms: a probe whose attempt was cancelled
+// (hedge won, request budget expired) is no evidence — the breaker
+// re-opens with a spent cooldown so the next request probes immediately,
+// instead of the state wedging half-open forever.
+func TestBreakerCanceledProbeRearms(t *testing.T) {
+	cfg := testBreakerCfg(0)
+	b := NewBreaker(cfg)
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+	for b.Allow() == BreakerSkip {
+	}
+	// Now half-open with the probe slot claimed.
+	b.OnCanceledProbe()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after cancelled probe", b.State())
+	}
+	if d := b.Allow(); d != BreakerProbe {
+		t.Fatalf("next request after cancelled probe: %v, want immediate probe", d)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("cancelled probe consumed a cooldown draw: opens=%d", b.Opens())
+	}
+}
+
+// TestBreakerNilSafe: a nil breaker (threshold <= 0) is a valid disabled
+// value on every method.
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if NewBreaker(BreakerConfig{Threshold: 0}) != nil {
+		t.Fatal("threshold 0 built a breaker")
+	}
+	if b.Allow() != BreakerProceed || b.State() != BreakerClosed || b.Opens() != 0 {
+		t.Fatal("nil breaker not always-proceed")
+	}
+	b.OnSuccess()
+	b.OnFailure()
+	b.OnCanceledProbe()
+}

@@ -3,6 +3,8 @@ package resilience
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -117,4 +119,68 @@ func TestGateClampsDegenerateConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	release()
+}
+
+// TestQueuedTimeoutAdmitRace is the satellite regression for the race
+// between a queued request's wait timeout firing and a slot freeing at
+// the same instant: every Acquire must resolve to exactly one outcome —
+// admitted (and later released) XOR shed — and neither outcome may leak
+// or double-free a slot. The slot-release timing is swept across the
+// wait timeout to land attempts on both sides of the race, and the run
+// is repeated at GOMAXPROCS 1 and 8 (the chaos suite runs it under
+// -race).
+func TestQueuedTimeoutAdmitRace(t *testing.T) {
+	for _, procs := range []int{1, 8} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+
+			const maxWait = time.Millisecond
+			g := NewGate(1, 1, maxWait)
+			const iters = 300
+			admitted, shed := 0, 0
+			for i := 0; i < iters; i++ {
+				release, err := g.Acquire(context.Background())
+				if err != nil {
+					t.Fatalf("iteration %d: slot holder refused: %v", i, err)
+				}
+				outcome := make(chan error, 1)
+				go func() {
+					rel, err := g.Acquire(context.Background())
+					if err == nil {
+						rel()
+					}
+					outcome <- err
+				}()
+				// Sweep the release across [0, 1.5*maxWait] so some
+				// iterations admit cleanly, some shed cleanly, and some
+				// land right on the timeout edge.
+				time.Sleep(time.Duration(i%4) * maxWait / 2)
+				release()
+				switch err := <-outcome; err {
+				case nil:
+					admitted++
+				case ErrShed:
+					shed++
+				default:
+					t.Fatalf("iteration %d: unexpected error %v", i, err)
+				}
+				// Balance invariant: whatever the outcome, the slot and the
+				// queue must be fully drained — a double-count would either
+				// leak the slot (this Acquire sheds) or free a phantom.
+				if g.InFlight() != 0 || g.QueueDepth() != 0 {
+					t.Fatalf("iteration %d: in_flight=%d queue=%d after drain", i, g.InFlight(), g.QueueDepth())
+				}
+				rel, err := g.Acquire(context.Background())
+				if err != nil {
+					t.Fatalf("iteration %d leaked the slot: %v", i, err)
+				}
+				rel()
+			}
+			if admitted+shed != iters {
+				t.Fatalf("outcomes %d+%d != %d iterations", admitted, shed, iters)
+			}
+			t.Logf("procs=%d admitted=%d shed=%d", procs, admitted, shed)
+		})
+	}
 }

@@ -1,0 +1,54 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"time"
+
+	"contextrank/internal/par"
+)
+
+// HedgeSchedule derives the per-request hedge delay: how long the router
+// waits on the primary replica before firing a duplicate request at the
+// next one. Delays are Base plus seeded jitter in [0, Jitter], drawn per
+// request from a splitmix64 stream — the schedule is a pure function of
+// (seed, requestIndex), so a fixed seed replays the exact same hedge
+// timings, and DelayAt lets tests re-derive every draw.
+//
+// The determinism rule for hedge *counters* (DESIGN.md §8) is stricter
+// than the delay schedule: a hedge fires iff the primary has neither
+// succeeded nor failed when the timer expires, so in chaos runs the
+// configuration must keep Base+Jitter comfortably above healthy response
+// times and below the injected slow-replica delay. Then hedges fired ==
+// planned slow-primary faults, exactly.
+type HedgeSchedule struct {
+	base, jitter time.Duration
+	seed         int64
+	next         atomic.Int64
+}
+
+// NewHedgeSchedule builds a schedule, or returns nil when base <= 0
+// (hedging disabled; a nil *HedgeSchedule is a valid off value).
+func NewHedgeSchedule(base, jitter time.Duration, seed int64) *HedgeSchedule {
+	if base <= 0 {
+		return nil
+	}
+	if jitter < 0 {
+		jitter = 0
+	}
+	return &HedgeSchedule{base: base, jitter: jitter, seed: seed}
+}
+
+// Next assigns the next request index and returns its hedge delay.
+func (h *HedgeSchedule) Next() time.Duration {
+	return h.DelayAt(int(h.next.Add(1) - 1))
+}
+
+// DelayAt is the pure schedule function: the hedge delay of request index
+// i.
+func (h *HedgeSchedule) DelayAt(i int) time.Duration {
+	if h.jitter == 0 {
+		return h.base
+	}
+	v := uint64(par.Seed(h.seed, i))
+	return h.base + time.Duration(v%uint64(h.jitter+1))
+}

@@ -1,0 +1,49 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHedgeScheduleDeterministic: Next() walks exactly the DelayAt
+// sequence, every delay lies in [base, base+jitter], the same seed
+// replays the same schedule, and a different seed jitters differently.
+func TestHedgeScheduleDeterministic(t *testing.T) {
+	const base, jitter = 20 * time.Millisecond, 10 * time.Millisecond
+	h := NewHedgeSchedule(base, jitter, 42)
+	replay := NewHedgeSchedule(base, jitter, 42)
+	other := NewHedgeSchedule(base, jitter, 43)
+	identical := true
+	for i := 0; i < 64; i++ {
+		d := h.Next()
+		if d != h.DelayAt(i) {
+			t.Fatalf("Next()[%d] = %v, DelayAt = %v", i, d, h.DelayAt(i))
+		}
+		if d != replay.Next() {
+			t.Fatalf("draw %d diverged between same-seed schedules", i)
+		}
+		if d < base || d > base+jitter {
+			t.Fatalf("delay %d = %v outside [base, base+jitter]", i, d)
+		}
+		if d != other.DelayAt(i) {
+			identical = false
+		}
+	}
+	if identical {
+		t.Fatal("seeds 42 and 43 drew identical 64-draw schedules")
+	}
+}
+
+// TestHedgeScheduleDisabled: base <= 0 disables hedging; zero jitter
+// makes the delay constant.
+func TestHedgeScheduleDisabled(t *testing.T) {
+	if NewHedgeSchedule(0, time.Millisecond, 1) != nil {
+		t.Fatal("base 0 built a schedule")
+	}
+	h := NewHedgeSchedule(5*time.Millisecond, 0, 1)
+	for i := 0; i < 8; i++ {
+		if d := h.Next(); d != 5*time.Millisecond {
+			t.Fatalf("jitterless delay %v", d)
+		}
+	}
+}

@@ -31,12 +31,31 @@ type FaultPlan struct {
 // InjectorConfig parameterizes the fault mix. Probabilities are in [0,1];
 // zero disables that fault class. Seed must be injected by the caller
 // (flag, config) — the whole point is reproducing a run.
+//
+// The cluster fields drive the router-side fault planes (ClusterPlanAt,
+// FlapAt): simulated shard crashes, slow replicas, and flapping health
+// probes, drawn from streams independent of the per-request HTTP fault
+// stream so enabling one mode never perturbs the other's schedule.
 type InjectorConfig struct {
 	Seed         int64
 	LatencyP     float64
 	LatencySpike time.Duration
 	PanicP       float64
 	WriteFailP   float64
+
+	// ShardDownP is the probability a routed request's primary replica
+	// attempt fails instantly (the router-side simulation of a crashed
+	// shard: indistinguishable from a refused connection).
+	ShardDownP float64
+	// SlowReplicaP is the probability the primary attempt stalls for
+	// SlowReplicaDelay before reaching the shard — long enough to trip
+	// hedging or the per-try deadline. Down and slow are mutually
+	// exclusive per plan; the down draw wins.
+	SlowReplicaP     float64
+	SlowReplicaDelay time.Duration
+	// FlapP is the probability one health probe of one shard is forced to
+	// fail, flapping the shard unhealthy until the next clean probe round.
+	FlapP float64
 }
 
 // Injector plans faults deterministically. Request i draws from a
@@ -45,12 +64,17 @@ type InjectorConfig struct {
 // neighbouring requests get statistically independent faults and a fixed
 // seed fixes the entire fault sequence.
 type Injector struct {
-	cfg  InjectorConfig
-	next atomic.Int64
+	cfg         InjectorConfig
+	next        atomic.Int64
+	nextCluster atomic.Int64
 }
 
 // NewInjector builds an injector from a config.
 func NewInjector(cfg InjectorConfig) *Injector { return &Injector{cfg: cfg} }
+
+// Config returns the injector's configuration (the cluster router reads
+// SlowReplicaDelay when applying a slow-replica plan).
+func (inj *Injector) Config() InjectorConfig { return inj.cfg }
 
 // Plan assigns the next request index and returns its fault plan. Indexes
 // are handed out in arrival order; under concurrency the index→request
@@ -76,6 +100,58 @@ func (inj *Injector) PlanAt(i int) FaultPlan {
 		p.FailWrite = true
 	}
 	return p
+}
+
+// Stream salts keep the cluster fault planes statistically independent of
+// the per-request HTTP fault stream (which draws from par.Seed(seed, i)
+// directly): each plane derives from a distinct salted seed, so enabling
+// cluster chaos never shifts the HTTP fault schedule and vice versa. The
+// salt values are part of the determinism contract — tests replay the
+// same derivation through ClusterPlanAt / FlapAt.
+const (
+	clusterStreamSalt int64 = 0x636c7573746572 // "cluster"
+	flapStreamSalt    int64 = 0x666c6170       // "flap"
+	// flapRoundStride spaces probe rounds in the flap stream; shard
+	// indexes must stay below it.
+	flapRoundStride = 1024
+)
+
+// ClusterFaultPlan is the set of router-side faults one routed request
+// will experience. At most one of the two is set: the down draw wins.
+type ClusterFaultPlan struct {
+	// DownPrimary fails the primary replica attempt instantly, forcing a
+	// failover to the next replica on the ring.
+	DownPrimary bool
+	// SlowPrimary stalls the primary attempt for SlowReplicaDelay,
+	// forcing the hedge (or the per-try deadline) to win.
+	SlowPrimary bool
+}
+
+// ClusterPlan assigns the next routed-request index and returns its
+// cluster fault plan. Like Plan, indexes are handed out in arrival order;
+// the plan multiset over N routed requests is a pure function of (seed, N).
+func (inj *Injector) ClusterPlan() ClusterFaultPlan {
+	return inj.ClusterPlanAt(int(inj.nextCluster.Add(1) - 1))
+}
+
+// ClusterPlanAt is the pure cluster planning function: the plan of routed
+// request index i. Two draws in fixed order — down, then slow — with the
+// down draw winning when both hit; tests re-derive expected failover and
+// hedge counters by replaying it.
+func (inj *Injector) ClusterPlanAt(i int) ClusterFaultPlan {
+	rng := rand.New(rand.NewSource(par.Seed(inj.cfg.Seed^clusterStreamSalt, i)))
+	down := rng.Float64() < inj.cfg.ShardDownP
+	slow := rng.Float64() < inj.cfg.SlowReplicaP
+	return ClusterFaultPlan{DownPrimary: down, SlowPrimary: !down && slow}
+}
+
+// FlapAt is the pure health-flap function: whether probe round r of shard
+// s is forced to fail. Rounds are assigned by the router's prober in
+// call order; tests drive probe rounds explicitly and replay FlapAt to
+// predict exact health-skip counters.
+func (inj *Injector) FlapAt(round, shard int) bool {
+	rng := rand.New(rand.NewSource(par.Seed(inj.cfg.Seed^flapStreamSalt, round*flapRoundStride+shard)))
+	return rng.Float64() < inj.cfg.FlapP
 }
 
 // planKey carries the request's FaultPlan through its context.

@@ -120,3 +120,71 @@ func TestChaosDelayNoPlanIsNoop(t *testing.T) {
 		t.Fatal("ChaosDelay without a plan slept")
 	}
 }
+
+// TestClusterPlanDeterministic: the cluster fault stream is a pure
+// function of the seed, mutually exclusive per plan (down wins), and
+// independent of the per-request HTTP fault stream — interleaving Plan()
+// draws must not shift the cluster schedule.
+func TestClusterPlanDeterministic(t *testing.T) {
+	cfg := InjectorConfig{Seed: 42, ShardDownP: 0.3, SlowReplicaP: 0.3, SlowReplicaDelay: time.Second}
+	serial := NewInjector(cfg)
+	interleaved := NewInjector(cfg)
+	var downs, slows int
+	for i := 0; i < 200; i++ {
+		p := serial.ClusterPlan()
+		if p != serial.ClusterPlanAt(i) {
+			t.Fatalf("ClusterPlan()[%d] != ClusterPlanAt(%d)", i, i)
+		}
+		interleaved.Plan() // HTTP fault draw must not perturb the cluster stream
+		if q := interleaved.ClusterPlan(); q != p {
+			t.Fatalf("draw %d: interleaved HTTP plans shifted the cluster stream", i)
+		}
+		if p.DownPrimary && p.SlowPrimary {
+			t.Fatalf("draw %d: down and slow both set", i)
+		}
+		if p.DownPrimary {
+			downs++
+		}
+		if p.SlowPrimary {
+			slows++
+		}
+	}
+	if downs == 0 || slows == 0 {
+		t.Fatalf("degenerate cluster mix: downs=%d slows=%d", downs, slows)
+	}
+	if reflect.DeepEqual(
+		[]ClusterFaultPlan{serial.ClusterPlanAt(0), serial.ClusterPlanAt(1), serial.ClusterPlanAt(2), serial.ClusterPlanAt(3)},
+		[]ClusterFaultPlan{NewInjector(InjectorConfig{Seed: 43, ShardDownP: 0.3, SlowReplicaP: 0.3}).ClusterPlanAt(0),
+			NewInjector(InjectorConfig{Seed: 43, ShardDownP: 0.3, SlowReplicaP: 0.3}).ClusterPlanAt(1),
+			NewInjector(InjectorConfig{Seed: 43, ShardDownP: 0.3, SlowReplicaP: 0.3}).ClusterPlanAt(2),
+			NewInjector(InjectorConfig{Seed: 43, ShardDownP: 0.3, SlowReplicaP: 0.3}).ClusterPlanAt(3)},
+	) {
+		// Four identical draws across different seeds is possible but at
+		// these rates it is a red flag worth failing on.
+		t.Log("warning: seeds 42 and 43 agree on the first four cluster draws")
+	}
+}
+
+// TestFlapAtPure: FlapAt is a pure function of (seed, round, shard), with
+// independent draws per cell of the round x shard grid.
+func TestFlapAtPure(t *testing.T) {
+	cfg := InjectorConfig{Seed: 42, FlapP: 0.4}
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	flapped := 0
+	for round := 0; round < 20; round++ {
+		for shard := 0; shard < 5; shard++ {
+			if a.FlapAt(round, shard) != b.FlapAt(round, shard) {
+				t.Fatalf("FlapAt(%d,%d) not deterministic", round, shard)
+			}
+			if a.FlapAt(round, shard) {
+				flapped++
+			}
+		}
+	}
+	if flapped == 0 || flapped == 100 {
+		t.Fatalf("degenerate flap grid: %d of 100", flapped)
+	}
+	if p := NewInjector(InjectorConfig{Seed: 42}).FlapAt(3, 1); p {
+		t.Fatal("FlapP=0 still flapped")
+	}
+}

@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// QuotaConfig parameterizes per-tenant token buckets.
+type QuotaConfig struct {
+	// Burst is the bucket capacity in requests (tokens). Values <= 0
+	// disable quotas (NewQuota returns nil).
+	Burst int
+	// RatePerSec refills the bucket continuously. Zero means no refill —
+	// a pure burst budget, which is also the deterministic configuration
+	// the quota tests pin exact counters against.
+	RatePerSec float64
+	// Now is the clock (nil = time.Now). Injectable so tests control
+	// refill deterministically.
+	Now func() time.Time
+}
+
+// Quota is a per-tenant token-bucket admission check, sitting in front of
+// the concurrency gate: the gate bounds how much work runs at once, the
+// quota bounds how much work each tenant may submit over time. A nil
+// *Quota is a valid "quotas disabled" value.
+type Quota struct {
+	cfg QuotaConfig
+
+	mu sync.Mutex
+	//kw:guardedby(mu)
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuota builds a quota, or returns nil when cfg.Burst <= 0.
+func NewQuota(cfg QuotaConfig) *Quota {
+	if cfg.Burst <= 0 {
+		return nil
+	}
+	return &Quota{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+func (q *Quota) now() time.Time {
+	if q.cfg.Now != nil {
+		return q.cfg.Now()
+	}
+	return time.Now()
+}
+
+// Allow spends one token from tenant's bucket. On refusal it returns the
+// Retry-After hint: the time until one token refills, or one second when
+// the bucket never refills (rate 0).
+func (q *Quota) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b, found := q.buckets[tenant]
+	if !found {
+		b = &bucket{tokens: float64(q.cfg.Burst), last: now}
+		q.buckets[tenant] = b
+	} else if q.cfg.RatePerSec > 0 {
+		if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+			b.tokens += elapsed * q.cfg.RatePerSec
+			if max := float64(q.cfg.Burst); b.tokens > max {
+				b.tokens = max
+			}
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if q.cfg.RatePerSec <= 0 {
+		return false, time.Second
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / q.cfg.RatePerSec * float64(time.Second))
+}
+
+// Tenants is the number of buckets currently tracked (a /statz gauge).
+func (q *Quota) Tenants() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

@@ -1,0 +1,84 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuotaBurstOnly: with rate 0 the bucket is a pure burst budget —
+// exactly Burst admissions, then refusals with the fixed 1s hint. This is
+// the deterministic configuration the cluster chaos tests pin counters
+// against.
+func TestQuotaBurstOnly(t *testing.T) {
+	q := NewQuota(QuotaConfig{Burst: 3})
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.Allow("acme"); !ok {
+			t.Fatalf("request %d refused within burst", i)
+		}
+	}
+	ok, retryAfter := q.Allow("acme")
+	if ok {
+		t.Fatal("burst+1 admitted")
+	}
+	if retryAfter != time.Second {
+		t.Fatalf("rate-0 refusal hint %v, want 1s", retryAfter)
+	}
+	// Other tenants have their own bucket.
+	if ok, _ := q.Allow("other"); !ok {
+		t.Fatal("second tenant shares the first tenant's bucket")
+	}
+	if q.Tenants() != 2 {
+		t.Fatalf("tenants = %d, want 2", q.Tenants())
+	}
+}
+
+// TestQuotaRefill: with a rate and an injected clock, tokens come back
+// continuously and the refusal hint is the time until one token refills.
+func TestQuotaRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := NewQuota(QuotaConfig{Burst: 2, RatePerSec: 2, Now: func() time.Time { return now }})
+	if ok, _ := q.Allow("t"); !ok {
+		t.Fatal("first refused")
+	}
+	if ok, _ := q.Allow("t"); !ok {
+		t.Fatal("second refused")
+	}
+	ok, retryAfter := q.Allow("t")
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retryAfter <= 0 || retryAfter > 500*time.Millisecond {
+		t.Fatalf("hint %v, want (0, 500ms] at 2 tokens/sec", retryAfter)
+	}
+	now = now.Add(time.Second) // refills 2 tokens, capped at burst
+	if ok, _ := q.Allow("t"); !ok {
+		t.Fatal("refused after refill")
+	}
+	if ok, _ := q.Allow("t"); !ok {
+		t.Fatal("second refused after full refill")
+	}
+	// Refill never exceeds the burst cap.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.Allow("t"); !ok {
+			t.Fatalf("refill after idle hour: request %d refused", i)
+		}
+	}
+	if ok, _ := q.Allow("t"); ok {
+		t.Fatal("idle hour refilled beyond the burst cap")
+	}
+}
+
+// TestQuotaNilSafe: a nil quota (burst <= 0) admits everything.
+func TestQuotaNilSafe(t *testing.T) {
+	if NewQuota(QuotaConfig{Burst: 0}) != nil {
+		t.Fatal("burst 0 built a quota")
+	}
+	var q *Quota
+	if ok, _ := q.Allow("anyone"); !ok {
+		t.Fatal("nil quota refused")
+	}
+	if q.Tenants() != 0 {
+		t.Fatal("nil quota tracks tenants")
+	}
+}

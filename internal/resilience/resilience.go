@@ -37,6 +37,9 @@ type Counters struct {
 	Degraded atomic.Int64
 	// DeadlineExpired counts requests whose full pipeline ran out of time.
 	DeadlineExpired atomic.Int64
+	// QuotaDenied counts requests refused by per-tenant token buckets
+	// (429 + Retry-After), before they reach the admission gate.
+	QuotaDenied atomic.Int64
 	// InjectedLatencies / InjectedPanics / InjectedWriteFailures count the
 	// faults the chaos Injector planned (whether or not a handler consumed
 	// them).
@@ -51,6 +54,7 @@ type Snapshot struct {
 	Shed                  int64 `json:"shed"`
 	Degraded              int64 `json:"degraded"`
 	DeadlineExpired       int64 `json:"deadline_expired"`
+	QuotaDenied           int64 `json:"quota_denied"`
 	InjectedLatencies     int64 `json:"injected_latencies"`
 	InjectedPanics        int64 `json:"injected_panics"`
 	InjectedWriteFailures int64 `json:"injected_write_failures"`
@@ -64,6 +68,7 @@ func (c *Counters) Snapshot() Snapshot {
 		Shed:                  c.Shed.Load(),
 		Degraded:              c.Degraded.Load(),
 		DeadlineExpired:       c.DeadlineExpired.Load(),
+		QuotaDenied:           c.QuotaDenied.Load(),
 		InjectedLatencies:     c.InjectedLatencies.Load(),
 		InjectedPanics:        c.InjectedPanics.Load(),
 		InjectedWriteFailures: c.InjectedWriteFailures.Load(),

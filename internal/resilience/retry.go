@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -33,7 +34,9 @@ type RetryClient struct {
 	// doubles it, capped at MaxDelay (default 2s). A Retry-After header
 	// overrides the computed delay, also capped at MaxDelay.
 	BaseDelay, MaxDelay time.Duration
-	// Sleep is replaceable for tests (default time.Sleep).
+	// Sleep is replaceable for tests (default: a context-aware timer
+	// wait). The request context is checked before and after the hook, so
+	// even a test Sleep cannot extend a cancelled request.
 	Sleep func(time.Duration)
 
 	seed int64
@@ -69,14 +72,6 @@ func (c *RetryClient) delays() (base, max time.Duration) {
 		max = 2 * time.Second
 	}
 	return base, max
-}
-
-func (c *RetryClient) sleep(d time.Duration) {
-	if c.Sleep != nil {
-		c.Sleep(d)
-		return
-	}
-	time.Sleep(d)
 }
 
 // retryableStatus: overload shedding and server-side failures are worth a
@@ -136,17 +131,49 @@ func (c *RetryClient) Do(req *http.Request) (*http.Response, error) {
 		if attempt == c.maxAttempts()-1 {
 			break
 		}
-		if err := req.Context().Err(); err != nil {
-			return nil, err
-		}
 		if delay == 0 {
 			delay = c.backoff(rng, base, max, attempt)
 		} else if delay > max {
 			delay = max
 		}
-		c.sleep(delay)
+		if err := c.sleepCtx(req.Context(), delay); err != nil {
+			return nil, err
+		}
 	}
 	return nil, lastErr
+}
+
+// sleepCtx waits out one backoff delay without ever outliving the request
+// context: an already-cancelled context returns immediately, cancellation
+// mid-sleep wakes the wait, and the delay is clamped to the remaining
+// deadline budget so the client never sleeps past the point where the
+// next attempt could not run anyway. Returns the context error when the
+// caller is gone, nil when the retry should proceed.
+func (c *RetryClient) sleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain <= 0 {
+			return context.DeadlineExceeded
+		}
+		if d > remain {
+			d = remain
+		}
+	}
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // DoRead is Do plus a full body read: a truncated or failed body read is

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -199,5 +200,70 @@ func TestRetryNonReplayableBodyFailsCleanly(t *testing.T) {
 	_, err := c.Do(req)
 	if err == nil || !strings.Contains(err.Error(), "non-replayable") {
 		t.Fatalf("err = %v, want non-replayable body error", err)
+	}
+}
+
+// TestRetryCancelMidBackoffWakesImmediately is the satellite regression
+// for the backoff sleep: cancelling the request context during a long
+// backoff must wake the wait and surface ctx.Err(), not sleep it out.
+func TestRetryCancelMidBackoffWakesImmediately(t *testing.T) {
+	c := NewRetryClient(&failingDoer{}, 1)
+	c.BaseDelay = 10 * time.Second // without the ctx-aware sleep this hangs
+	c.MaxDelay = 10 * time.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://unreachable.invalid/", nil)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Do(req)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v to wake the backoff sleep", elapsed)
+	}
+}
+
+// TestRetryNeverSleepsPastDeadline: the backoff delay is clamped to the
+// remaining deadline budget — a request with 50ms left must not be parked
+// for a multi-second backoff step, and an expired deadline short-circuits
+// before any sleep.
+func TestRetryNeverSleepsPastDeadline(t *testing.T) {
+	c := NewRetryClient(&failingDoer{}, 1)
+	c.BaseDelay = 30 * time.Second
+	c.MaxDelay = 30 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://unreachable.invalid/", nil)
+	start := time.Now()
+	_, err := c.Do(req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline-bound retry took %v", elapsed)
+	}
+}
+
+// TestRetryCancelledBeforeBackoffSkipsSleep: an already-cancelled context
+// returns immediately with the context error — even with a test Sleep
+// hook installed, which must never extend a cancelled request.
+func TestRetryCancelledBeforeBackoffSkipsSleep(t *testing.T) {
+	d := &failingDoer{}
+	c, slept := newRetryForTest(t, d, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://unreachable.invalid/", nil)
+	_, err := c.Do(req)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("cancelled request still slept: %v", *slept)
+	}
+	if d.calls != 1 {
+		t.Fatalf("cancelled request made %d attempts, want 1 (the in-flight one)", d.calls)
 	}
 }

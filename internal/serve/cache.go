@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Cache is the annotation response cache: a sharded LRU over serialized
@@ -23,19 +24,32 @@ import (
 //     stored: they reflect transient pressure, not the document.
 //   - Hits bypass the admission gate — serving memory must stay cheap under
 //     exactly the load spikes that make the gate shed.
-//   - Concurrent misses on one key coalesce: a single leader runs the
+//   - Concurrent misses on one key coalesce: a single leader starts the
 //     pipeline while followers wait for its bytes (or their own deadline).
+//     The fill itself is detached from the leader's cancellation and
+//     bounded by FillTimeout, so a cancelled leader can never poison the
+//     coalesced waiters with its context error.
 //
 // Sharding keeps the lock a per-shard mutex held only for map/list pokes;
 // the pipeline itself always runs outside any cache lock.
 type Cache struct {
-	shards    []cacheShard
-	perShard  int
+	shards   []cacheShard
+	perShard int
+
+	// FillTimeout bounds a detached cache fill (see Do). Zero uses
+	// DefaultFillTimeout. cmd/serve sizes it from the request deadline.
+	FillTimeout time.Duration
+
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
 	coalesced atomic.Int64
 }
+
+// DefaultFillTimeout is the fill bound when FillTimeout is unset: long
+// enough for any admitted pipeline run, short enough that an abandoned
+// fill cannot pin a gate slot indefinitely.
+const DefaultFillTimeout = 5 * time.Second
 
 // numCacheShards is the shard count (power of two, so shard selection is a
 // mask). 16 shards keep lock contention negligible at serving parallelism.
@@ -137,10 +151,19 @@ func (c *Cache) put(k cacheKey, text string, body []byte) {
 
 // Do returns the cached response for (text, top) or computes it via fn,
 // coalescing concurrent misses on the same key. fn reports whether its
-// result is cacheable (degraded responses are not). The returned bytes must
-// be treated as read-only. An error is only returned to a *follower* whose
-// ctx expires while waiting; the leader always returns fn's result.
-func (c *Cache) Do(ctx context.Context, text string, top int, fn func() ([]byte, bool)) ([]byte, error) {
+// result is cacheable (degraded responses are not). The returned bytes
+// must be treated as read-only.
+//
+// The fill is *detached* from the leader's cancellation: fn runs on a
+// context that inherits the leader's values (chaos plan, tracing) but not
+// its cancellation, bounded by FillTimeout. A leader whose own request is
+// cancelled mid-fill can therefore never poison the coalesced waiters
+// with its context error — the fill runs to completion (or its own
+// bounded deadline, which fn surfaces as an uncacheable degraded result,
+// i.e. a clean miss) and every waiter still holding a live context gets
+// the result. An error is returned only to a caller — leader or follower
+// alike — whose ctx expires while waiting.
+func (c *Cache) Do(ctx context.Context, text string, top int, fn func(context.Context) ([]byte, bool)) ([]byte, error) {
 	k := cacheKey{hash: cacheHash(text, top), top: top}
 	if body, ok := c.get(k, text); ok {
 		c.hits.Add(1)
@@ -164,16 +187,35 @@ func (c *Cache) Do(ctx context.Context, text string, top int, fn func() ([]byte,
 	sh.flights[k] = fl
 	sh.mu.Unlock()
 
-	fl.body, fl.ok = fn()
-	sh.mu.Lock()
-	delete(sh.flights, k)
-	sh.mu.Unlock()
-	close(fl.done)
-	if fl.ok {
-		c.put(k, text, fl.body)
+	fillTimeout := c.FillTimeout
+	if fillTimeout <= 0 {
+		fillTimeout = DefaultFillTimeout
 	}
-	return fl.body, nil
+	fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), fillTimeout)
+	go func() {
+		defer cancel()
+		fl.body, fl.ok = fn(fctx)
+		sh.mu.Lock()
+		delete(sh.flights, k)
+		sh.mu.Unlock()
+		close(fl.done)
+		if fl.ok {
+			c.put(k, text, fl.body)
+		}
+	}()
+	select {
+	case <-fl.done:
+		return fl.body, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
+
+// CacheKey is the singleflight/cache key of an annotate request: the
+// FNV-64a hash over the document text and top-N. Exported so the cluster
+// router coalesces identical requests across the router→shard hop on the
+// same key the shard-side cache uses (DESIGN.md §8).
+func CacheKey(text string, top int) uint64 { return cacheHash(text, top) }
 
 // CacheStats is the /statz view of the cache counters.
 type CacheStats struct {

@@ -121,7 +121,7 @@ func TestCacheEviction(t *testing.T) {
 	c := NewCache(numCacheShards) // one entry per shard
 	for i := 0; i < 10*numCacheShards; i++ {
 		text := fmt.Sprintf("doc %d", i)
-		if _, err := c.Do(context.Background(), text, 3, func() ([]byte, bool) {
+		if _, err := c.Do(context.Background(), text, 3, func(context.Context) ([]byte, bool) {
 			return []byte(text), true
 		}); err != nil {
 			t.Fatal(err)
@@ -151,7 +151,7 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 	wg.Add(followers + 1)
 	go func() {
 		defer wg.Done()
-		body, _ := c.Do(context.Background(), "doc", 3, func() ([]byte, bool) {
+		body, _ := c.Do(context.Background(), "doc", 3, func(context.Context) ([]byte, bool) {
 			mu.Lock()
 			computed++
 			mu.Unlock()
@@ -165,7 +165,7 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 	for i := 1; i <= followers; i++ {
 		go func(i int) {
 			defer wg.Done()
-			body, err := c.Do(context.Background(), "doc", 3, func() ([]byte, bool) {
+			body, err := c.Do(context.Background(), "doc", 3, func(context.Context) ([]byte, bool) {
 				mu.Lock()
 				computed++
 				mu.Unlock()
@@ -197,5 +197,89 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 	}
 	if st := c.Stats(); st.Coalesced != followers {
 		t.Fatalf("coalesced = %d, want %d", st.Coalesced, followers)
+	}
+}
+
+// TestCacheCancelledLeaderDoesNotPoisonWaiters is the satellite-2
+// regression: the leader's request is cancelled mid-fill, but the fill is
+// detached onto its own bounded context, so a coalesced follower with a
+// live context must still receive the real payload (not the leader's
+// context error), and the entry must land in the cache.
+func TestCacheCancelledLeaderDoesNotPoisonWaiters(t *testing.T) {
+	c := NewCache(64)
+	started := make(chan struct{})
+	proceed := make(chan struct{})
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.Do(leaderCtx, "doc", 3, func(fctx context.Context) ([]byte, bool) {
+			close(started)
+			select {
+			case <-proceed:
+			case <-fctx.Done():
+				return nil, false // fill bound expired: uncacheable
+			}
+			return []byte("payload"), true
+		})
+		leaderErr <- err
+	}()
+	<-started
+
+	// A follower parks on the leader's flight.
+	followerBody := make(chan []byte, 1)
+	go func() {
+		body, err := c.Do(context.Background(), "doc", 3, func(context.Context) ([]byte, bool) {
+			t.Error("follower recomputed a coalesced fill")
+			return nil, false
+		})
+		if err != nil {
+			t.Errorf("follower: %v", err)
+		}
+		followerBody <- body
+	}()
+	for c.Stats().Coalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Cancel the leader while the fill is in flight: the leader errors out,
+	// the fill keeps running.
+	cancelLeader()
+	if err := <-leaderErr; err != context.Canceled {
+		t.Fatalf("cancelled leader returned %v, want context.Canceled", err)
+	}
+	close(proceed)
+	if body := <-followerBody; string(body) != "payload" {
+		t.Fatalf("follower got %q after leader cancellation", body)
+	}
+	if _, ok := c.get(cacheKey{hash: cacheHash("doc", 3), top: 3}, "doc"); !ok {
+		t.Fatal("detached fill did not populate the cache")
+	}
+}
+
+// TestCacheFillTimeoutBoundsDetachedFill: a fill that outlives FillTimeout
+// sees its fill context expire even when the caller's context is still
+// live — the bound that keeps an abandoned fill from pinning a gate slot
+// forever.
+func TestCacheFillTimeoutBoundsDetachedFill(t *testing.T) {
+	c := NewCache(64)
+	c.FillTimeout = 10 * time.Millisecond
+	body, err := c.Do(context.Background(), "doc", 3, func(fctx context.Context) ([]byte, bool) {
+		select {
+		case <-fctx.Done():
+			return nil, false
+		case <-time.After(5 * time.Second):
+			t.Error("fill context never expired")
+			return nil, false
+		}
+	})
+	if err != nil {
+		t.Fatalf("caller with live context got error %v", err)
+	}
+	if body != nil {
+		t.Fatalf("timed-out fill produced body %q", body)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("uncacheable timed-out fill was stored: %+v", st)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -50,6 +51,18 @@ const MaxDocumentBytes = 1 << 20
 // drain, not immediately and not never.
 const retryAfterSeconds = "1"
 
+// TenantHeader names the header identifying the calling tenant for
+// per-tenant quota accounting. Requests without it share the anonymous
+// tenant's bucket.
+const TenantHeader = "X-Tenant"
+
+// DeadlineHeader carries the router's remaining per-request budget, in
+// integer milliseconds. A shard-mode server (TrustForwardedDeadline)
+// clamps its own deadline to it so a request that already burned most of
+// its budget at the router does not get a fresh full deadline at the
+// shard.
+const DeadlineHeader = "X-Deadline-Ms"
+
 // Server wires the runtime and renderer behind an http.Handler.
 type Server struct {
 	Runtime  *framework.Runtime
@@ -62,6 +75,16 @@ type Server struct {
 	Timeout time.Duration
 	// Gate is the admission controller (nil = unbounded admission).
 	Gate *resilience.Gate
+	// Quota is the per-tenant token-bucket check applied in front of the
+	// gate (nil = no quotas). Exhausted tenants get 429 + Retry-After on
+	// every endpoint — a quota refusal is policy, not pressure, so it is
+	// never answered with the degraded ranking.
+	Quota *resilience.Quota
+	// TrustForwardedDeadline makes the server honor DeadlineHeader from
+	// the router (shard mode, cmd/serve -shard). Off by default: an
+	// internet-facing server must not let clients shrink or extend its
+	// deadline policy.
+	TrustForwardedDeadline bool
 	// Injector enables deterministic fault injection (nil = off).
 	Injector *resilience.Injector
 	// Cache is the /v1/annotate response cache (nil = disabled). Hits
@@ -206,12 +229,47 @@ func (s *Server) account(text string) {
 	s.docBytes.Add(int64(len(text)))
 }
 
-// requestCtx derives the per-request deadline context.
+// requestCtx derives the per-request deadline context: the configured
+// Timeout, clamped to the router's forwarded budget in shard mode.
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.Timeout > 0 {
-		return context.WithTimeout(r.Context(), s.Timeout)
+	timeout := s.Timeout
+	if s.TrustForwardedDeadline {
+		if ms, err := strconv.Atoi(r.Header.Get(DeadlineHeader)); err == nil && ms > 0 {
+			if fwd := time.Duration(ms) * time.Millisecond; timeout <= 0 || fwd < timeout {
+				timeout = fwd
+			}
+		}
+	}
+	if timeout > 0 {
+		return context.WithTimeout(r.Context(), timeout)
 	}
 	return r.Context(), func() {}
+}
+
+// checkQuota enforces the per-tenant token bucket. It reports whether the
+// request may proceed; on refusal the 429 has already been written.
+func (s *Server) checkQuota(w http.ResponseWriter, r *http.Request) bool {
+	if s.Quota == nil {
+		return true
+	}
+	ok, retryAfter := s.Quota.Allow(r.Header.Get(TenantHeader))
+	if ok {
+		return true
+	}
+	s.rz.QuotaDenied.Add(1)
+	w.Header().Set("Retry-After", retryAfterHint(retryAfter))
+	http.Error(w, "tenant quota exceeded", http.StatusTooManyRequests)
+	return false
+}
+
+// retryAfterHint renders a Retry-After duration as whole seconds, rounded
+// up with a floor of one — the only form RetryClient parses.
+func retryAfterHint(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // admit asks the gate for a slot. With no gate every request is admitted.
@@ -229,6 +287,9 @@ func (s *Server) annotate(ctx context.Context, text string, top int) ([]framewor
 }
 
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	if !s.checkQuota(w, r) {
+		return
+	}
 	req, text, ok := s.decode(w, r)
 	if !ok {
 		return
@@ -243,12 +304,16 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		s.writeRawJSON(w, body)
 		return
 	}
-	body, err := s.Cache.Do(ctx, text, top, func() ([]byte, bool) {
-		return s.annotateBody(ctx, text, top)
+	body, err := s.Cache.Do(ctx, text, top, func(fctx context.Context) ([]byte, bool) {
+		// fctx is the detached fill context: the leader's values without
+		// its cancellation, bounded by the fill deadline — a cancelled
+		// leader cannot poison the coalesced waiters (DESIGN.md §8).
+		return s.annotateBody(fctx, text, top)
 	})
 	if err != nil {
-		// Follower whose deadline expired while waiting on the leader:
-		// answer degraded like any other deadline exhaustion.
+		// Waiter (leader or follower) whose own deadline expired before
+		// the fill finished: answer degraded like any other deadline
+		// exhaustion; the detached fill still completes and caches.
 		s.rz.DeadlineExpired.Add(1)
 		s.writeRawJSON(w, s.marshalAnnotations(text, s.degraded(text, top), true))
 		return
@@ -328,6 +393,9 @@ func (s *Server) writeRawJSON(w http.ResponseWriter, body []byte) {
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	if s.Renderer == nil {
 		http.Error(w, "rendering not configured", http.StatusNotImplemented)
+		return
+	}
+	if !s.checkQuota(w, r) {
 		return
 	}
 	req, text, ok := s.decode(w, r)
@@ -421,6 +489,11 @@ type Stats struct {
 	QueueDepth   int `json:"queue_depth"`
 	GateCapacity int `json:"gate_capacity"`
 
+	// QuotaTenants is the number of tenant buckets currently tracked
+	// (zero when quotas are disabled; refusals are counted in
+	// resilience.quota_denied).
+	QuotaTenants int `json:"quota_tenants,omitempty"`
+
 	Resilience resilience.Snapshot `json:"resilience"`
 
 	// Cache reports the annotation-cache counters (absent when disabled).
@@ -445,6 +518,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		st.InFlight = s.Gate.InFlight()
 		st.QueueDepth = s.Gate.QueueDepth()
 		st.GateCapacity = s.Gate.Capacity()
+	}
+	if s.Quota != nil {
+		st.QuotaTenants = s.Quota.Tenants()
 	}
 	if s.Cache != nil {
 		cs := s.Cache.Stats()
