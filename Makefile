@@ -43,10 +43,14 @@ race:
 # annotate or detect path fails the build (DESIGN.md §10). The offline
 # extraction/mining benchmarks guard at a *maximum ratio below one* —
 # their baselines record the pre-interning measurements and the ≤0.40
-# ratio pins the interned paths' ≥60% allocation reduction. The parallel
-# sweep benches are floored on parEff-8 (speedup at 8 workers divided by
-# usable cores), the machine-independent form of the ≥2.8×-on-8-cores
-# scaling contract.
+# ratio pins the interned paths' ≥60% allocation reduction, and the
+# ComposeDoc baseline likewise holds the pre-pooling numbers with a ≤0.10
+# cap. The parallel sweep benches are floored on parEff-8 (speedup at 8
+# workers divided by usable cores), the machine-independent form of the
+# ≥2.8×-on-8-cores scaling contract. The ClickGraphScale guards compare
+# against contract values rather than measurements: total-ms 2000 is the
+# 2-second build+freeze+10-sweeps wall-clock ceiling and frozen-ratio
+# 0.35 the compressed-adjacency bound, both at ratio 1.00.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./... > bench.out
 	$(GO) test -run=NONE -bench='^BenchmarkAnnotate$$' -benchtime=50x . >> bench.out
@@ -56,6 +60,8 @@ bench:
 	$(GO) test -run=NONE -bench='^BenchmarkFields$$' -benchtime=1000x ./internal/features >> bench.out
 	$(GO) test -run=NONE -bench='^BenchmarkMineSnippets$$' -benchtime=20x ./internal/relevance >> bench.out
 	$(GO) test -run=NONE -bench='^BenchmarkExtract$$' -benchtime=20x ./internal/units >> bench.out
+	$(GO) test -run=NONE -bench='^BenchmarkComposeDoc$$' -benchtime=200x ./internal/world >> bench.out
+	$(GO) test -run=NONE -bench='^BenchmarkRelated$$' -benchtime=50x ./internal/clickgraph >> bench.out
 	$(GO) run ./cmd/benchjson -o BENCH.json -baseline BENCH.baseline.json \
 		-guard 'BenchmarkAnnotate:allocs/op:1.20' \
 		-guard 'BenchmarkDetect:allocs/op:1.20' \
@@ -68,8 +74,14 @@ bench:
 		-guard 'BenchmarkMineSnippets:B/op:0.40' \
 		-guard 'BenchmarkMineSnippets:allocs/op:0.40' \
 		-guard 'BenchmarkExtract:allocs/op:1.20' \
+		-guard 'BenchmarkComposeDoc:allocs/op:0.10' \
+		-guard 'BenchmarkComposeDoc:B/op:0.10' \
+		-guard 'BenchmarkRelated:allocs/op:1.20' \
+		-guard 'BenchmarkClickGraphScale:frozen-ratio:1.00' \
+		-guard 'BenchmarkClickGraphScale:total-ms:1.00' \
 		-floor 'BenchmarkParallelBuild:parEff-8:0.35' \
-		-floor 'BenchmarkParallelCrossValidate:parEff-8:0.35' < bench.out
+		-floor 'BenchmarkParallelCrossValidate:parEff-8:0.35' \
+		-floor 'BenchmarkClickGraphPropagate:parEff-8:0.35' < bench.out
 
 # Deterministic fault injection under -race with a pinned seed: the chaos
 # tests derive their expected recovery counters from CHAOS_SEED, so any

@@ -196,10 +196,14 @@ const (
 // Clean drops noisy reports per the paper's three rules and returns the
 // retained reports.
 func Clean(reports []Report) []Report {
-	out := make([]Report, 0, len(reports))
-	for _, r := range reports {
+	// First pass: find the first dropped report. If nothing is dropped —
+	// the common case on simulated logs — the input slice is returned
+	// as-is, sharing its backing array. The aliasing contract: Clean's
+	// result must be treated as read-only alongside the input; neither
+	// slice's elements may be mutated while both are in use.
+	keep := func(r *Report) bool {
 		if r.Views < MinViews || len(r.Entities) < MinConcepts {
-			continue
+			return false
 		}
 		maxClicks := 0
 		for _, e := range r.Entities {
@@ -207,10 +211,24 @@ func Clean(reports []Report) []Report {
 				maxClicks = e.Clicks
 			}
 		}
-		if maxClicks <= MinTopClicks {
-			continue
+		return maxClicks > MinTopClicks
+	}
+	firstDrop := -1
+	for i := range reports {
+		if !keep(&reports[i]) {
+			firstDrop = i
+			break
 		}
-		out = append(out, r)
+	}
+	if firstDrop == -1 {
+		return reports
+	}
+	out := make([]Report, 0, len(reports)-1)
+	out = append(out, reports[:firstDrop]...)
+	for i := firstDrop + 1; i < len(reports); i++ {
+		if keep(&reports[i]) {
+			out = append(out, reports[i])
+		}
 	}
 	return out
 }
@@ -235,6 +253,15 @@ type WindowGroup struct {
 
 // Windows splits cleaned reports into window groups, dropping windows with
 // fewer than MinConcepts entities.
+//
+// For the first window of a story (Start 0) whose in-window entities form a
+// leading run of r.Entities, the group's Entities slice aliases that prefix
+// of the report's slice instead of copying it — positions need no shifting
+// there, and most short stories fit their first window entirely. The
+// shared prefix is capped (three-index slice), so appends to either slice
+// cannot clobber the other; the aliasing contract is that callers treat
+// EntityStat elements as read-only, which every consumer (grouping,
+// feature building, evaluation) already does.
 func Windows(reports []Report, size, overlap int) []WindowGroup {
 	var out []WindowGroup
 	for _, r := range reports {
@@ -245,6 +272,26 @@ func Windows(reports []Report, size, overlap int) []WindowGroup {
 				WindowIndex: win.Index,
 				Text:        win.Text,
 				Views:       r.Views,
+			}
+			if win.Start == 0 {
+				k := 0
+				for k < len(r.Entities) && r.Entities[k].Position < win.End {
+					k++
+				}
+				shareable := true
+				for _, e := range r.Entities[k:] {
+					if e.Position < win.End {
+						shareable = false
+						break
+					}
+				}
+				if shareable {
+					if k >= MinConcepts {
+						g.Entities = r.Entities[:k:k]
+						out = append(out, g)
+					}
+					continue
+				}
 			}
 			for _, e := range r.Entities {
 				if e.Position >= win.Start && e.Position < win.End {

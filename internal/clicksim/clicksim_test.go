@@ -104,6 +104,109 @@ func TestClean(t *testing.T) {
 	}
 }
 
+// TestCleanAliasing pins the zero-copy contract: when no report is
+// dropped, Clean returns the input slice itself; when some are, the result
+// is a fresh slice sized to the survivors.
+func TestCleanAliasing(t *testing.T) {
+	_, reports := testReports(t)
+	cleaned := Clean(reports)
+	// The simulated log always has some noise, so this run drops reports.
+	if len(cleaned) == len(reports) {
+		t.Fatal("test premise broken: nothing dropped")
+	}
+	if &cleaned[0] == &reports[0] {
+		t.Fatal("dropping run must not alias the input backing array")
+	}
+	// Cleaning an already-clean slice must return it unchanged, same array.
+	again := Clean(cleaned)
+	if len(again) != len(cleaned) {
+		t.Fatalf("re-clean dropped %d reports", len(cleaned)-len(again))
+	}
+	if &again[0] != &cleaned[0] {
+		t.Fatal("no-drop Clean must return the input slice (shared backing array)")
+	}
+	// A drop in the middle keeps everything before and after it.
+	mixed := append([]Report(nil), cleaned...)
+	mixed[1].Views = 0
+	got := Clean(mixed)
+	if len(got) != len(mixed)-1 {
+		t.Fatalf("got %d reports, want %d", len(got), len(mixed)-1)
+	}
+	if got[0].Story != mixed[0].Story || got[1].Story != mixed[2].Story {
+		t.Fatal("mid-slice drop reordered the survivors")
+	}
+	if &got[0] == &mixed[0] {
+		t.Fatal("dropping run must copy, not alias")
+	}
+}
+
+// TestWindowsAliasing pins the prefix-sharing contract: a story whose
+// entities all sit in the first window hands out a capped view of the
+// report's own Entities slice (no copy, no position shift), and appending
+// to the shared slice cannot clobber the report.
+func TestWindowsAliasing(t *testing.T) {
+	text := make([]byte, 600)
+	for i := range text {
+		text[i] = 'x'
+	}
+	c1 := &world.Concept{Name: "one"}
+	c2 := &world.Concept{Name: "two"}
+	r := Report{
+		Story: &newsgen.Story{ID: 7, Text: string(text)},
+		Views: 100,
+		Entities: []EntityStat{
+			{Concept: c1, Position: 10, Clicks: 5},
+			{Concept: c2, Position: 400, Clicks: 4},
+		},
+	}
+	groups := Windows([]Report{r}, 2500, 500)
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(groups))
+	}
+	g := groups[0]
+	if len(g.Entities) != 2 {
+		t.Fatalf("group has %d entities, want 2", len(g.Entities))
+	}
+	if &g.Entities[0] != &r.Entities[0] {
+		t.Fatal("first-window group must alias the report's Entities prefix")
+	}
+	// The shared prefix is capped: growing the group slice must reallocate
+	// rather than write into the report's array.
+	grown := append(g.Entities, EntityStat{Concept: c1, Position: 500})
+	if &grown[0] == &r.Entities[0] && cap(g.Entities) != len(g.Entities) {
+		t.Fatal("append grew into the report's backing array")
+	}
+
+	// A story spilling past the first window still copies and re-bases.
+	long := make([]byte, 4000)
+	for i := range long {
+		long[i] = 'y'
+	}
+	r2 := Report{
+		Story: &newsgen.Story{ID: 8, Text: string(long)},
+		Views: 100,
+		Entities: []EntityStat{
+			{Concept: c1, Position: 10, Clicks: 5},
+			{Concept: c2, Position: 100, Clicks: 4},
+			{Concept: c2, Position: 3000, Clicks: 4},
+		},
+	}
+	groups = Windows([]Report{r2}, 2500, 500)
+	for _, g := range groups {
+		if g.WindowIndex == 0 {
+			continue
+		}
+		for i := range g.Entities {
+			if &g.Entities[i] == &r2.Entities[2] {
+				t.Fatal("later window aliased the report's entities")
+			}
+			if g.Entities[i].Position >= 2500 {
+				t.Fatal("later window kept an unshifted position")
+			}
+		}
+	}
+}
+
 func TestWindows(t *testing.T) {
 	_, reports := testReports(t)
 	cleaned := Clean(reports)

@@ -1,0 +1,237 @@
+package golomb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCodecRoundtripExhaustiveSmall round-trips every value in [0, 600)
+// through every parameter in [1, 70], crossing the truncated-binary cutoff
+// and both the fused single-word fast paths and the slow paths (the buffer
+// is kept short so late values hit the byte-wise tail).
+func TestCodecRoundtripExhaustiveSmall(t *testing.T) {
+	for m := uint32(1); m <= 70; m++ {
+		c := NewCodec(m)
+		var w BitWriter
+		for v := uint32(0); v < 600; v++ {
+			c.Write(&w, v)
+		}
+		r := BitReaderAt(w.Bytes(), 0)
+		for v := uint32(0); v < 600; v++ {
+			got, err := c.Read(&r)
+			if err != nil {
+				t.Fatalf("m=%d v=%d: %v", m, v, err)
+			}
+			if got != v {
+				t.Fatalf("m=%d: decoded %d, want %d", m, got, v)
+			}
+		}
+	}
+}
+
+// TestCodecCostMatchesWrite: Cost must predict the exact bit growth of
+// Write for a sweep of (m, v) pairs — the frozen CSR's representation
+// choice depends on this being exact, not an estimate.
+func TestCodecCostMatchesWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		m := uint32(1 + rng.Intn(5000))
+		v := uint32(rng.Intn(100_000))
+		c := NewCodec(m)
+		var w BitWriter
+		before := w.BitLen()
+		c.Write(&w, v)
+		if got := w.BitLen() - before; got != c.Cost(v) {
+			t.Fatalf("m=%d v=%d: wrote %d bits, Cost says %d", m, v, got, c.Cost(v))
+		}
+	}
+}
+
+// TestCodecInterleavedStreams is the click-graph shape: two codecs with
+// different parameters alternating over one bit stream (neighbor gaps and
+// click weights), decoded in lockstep.
+func TestCodecInterleavedStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		gapC := NewCodec(uint32(1 + rng.Intn(1000)))
+		wC := NewCodec(uint32(1 + rng.Intn(20)))
+		n := 1 + rng.Intn(400)
+		gaps := make([]uint32, n)
+		wts := make([]uint32, n)
+		var w BitWriter
+		for i := 0; i < n; i++ {
+			gaps[i] = uint32(rng.Intn(5000))
+			wts[i] = uint32(rng.Intn(60))
+			gapC.Write(&w, gaps[i])
+			wC.Write(&w, wts[i])
+		}
+		r := BitReaderAt(w.Bytes(), 0)
+		for i := 0; i < n; i++ {
+			g, err := gapC.Read(&r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wt, err := wC.Read(&r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g != gaps[i] || wt != wts[i] {
+				t.Fatalf("trial %d i=%d: got (%d,%d) want (%d,%d)", trial, i, g, wt, gaps[i], wts[i])
+			}
+		}
+	}
+}
+
+// TestCodecRandomDegreeRows is the property test over random degree
+// distributions: rows of random length (empty, degree-1, long) written as
+// sorted ascending ids with a per-row parameter, framed by a degree
+// header — the frozen adjacency row format in miniature.
+func TestCodecRandomDegreeRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		universe := uint32(1 + rng.Intn(10_000))
+		degC := NewCodec(uint32(1 + rng.Intn(8)))
+		nRows := 1 + rng.Intn(60)
+		rows := make([][]uint32, nRows)
+		for i := range rows {
+			switch rng.Intn(4) {
+			case 0: // empty row
+			case 1: // degree-1 row
+				rows[i] = []uint32{uint32(rng.Intn(int(universe)))}
+			default:
+				deg := 1 + rng.Intn(50)
+				seen := map[uint32]bool{}
+				for len(seen) < deg {
+					seen[uint32(rng.Intn(int(universe)))] = true
+				}
+				for v := range seen {
+					rows[i] = append(rows[i], v)
+				}
+				sortU32(rows[i])
+			}
+		}
+		var w BitWriter
+		for _, row := range rows {
+			degC.Write(&w, uint32(len(row)))
+			if len(row) == 0 {
+				continue
+			}
+			gapC := NewCodec(OptimalM(float64(universe) / float64(len(row)+1)))
+			prev := uint32(0)
+			for j, v := range row {
+				if j == 0 {
+					gapC.Write(&w, v)
+				} else {
+					gapC.Write(&w, v-prev-1)
+				}
+				prev = v
+			}
+		}
+		r := BitReaderAt(w.Bytes(), 0)
+		for i, row := range rows {
+			deg, err := degC.Read(&r)
+			if err != nil {
+				t.Fatalf("trial %d row %d header: %v", trial, i, err)
+			}
+			if int(deg) != len(row) {
+				t.Fatalf("trial %d row %d: deg %d, want %d", trial, i, deg, len(row))
+			}
+			if deg == 0 {
+				continue
+			}
+			gapC := NewCodec(OptimalM(float64(universe) / float64(deg+1)))
+			prev := uint32(0)
+			for j := uint32(0); j < deg; j++ {
+				g, err := gapC.Read(&r)
+				if err != nil {
+					t.Fatalf("trial %d row %d gap %d: %v", trial, i, j, err)
+				}
+				v := g
+				if j > 0 {
+					v = prev + g + 1
+				}
+				if v != row[j] {
+					t.Fatalf("trial %d row %d: id %d, want %d", trial, i, v, row[j])
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+// TestCodecZeroValue: the zero Codec behaves as M=1 (pure unary) rather
+// than dividing by zero.
+func TestCodecZeroValue(t *testing.T) {
+	var c Codec
+	if c.M() != 1 {
+		t.Fatalf("zero Codec M = %d", c.M())
+	}
+	var w BitWriter
+	c.Write(&w, 5)
+	r := BitReaderAt(w.Bytes(), 0)
+	v, err := c.Read(&r)
+	if err != nil || v != 5 {
+		t.Fatalf("zero Codec roundtrip = %d, %v", v, err)
+	}
+}
+
+// TestCodecReadCorrupt: truncated streams surface ErrOutOfBits instead of
+// fabricating values, on both the fused and byte-wise paths.
+func TestCodecReadCorrupt(t *testing.T) {
+	c := NewCodec(37)
+	var w BitWriter
+	c.Write(&w, 12345)
+	data := w.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		r := BitReaderAt(data[:cut], 0)
+		if v, err := c.Read(&r); err == nil && v != 12345 {
+			// A short prefix may still decode a smaller valid value; it
+			// must never decode the full value.
+			t.Fatalf("cut=%d decoded %d from truncated data", cut, v)
+		}
+	}
+	// All-ones data: the unary run exceeds any sane quotient.
+	ones := make([]byte, 1<<17)
+	for i := range ones {
+		ones[i] = 0xFF
+	}
+	r := BitReaderAt(ones, 0)
+	if _, err := c.Read(&r); err == nil {
+		t.Fatal("unbounded unary run did not error")
+	}
+}
+
+// TestWriteBitsWideValues: WriteBits must handle widths 1..64 with
+// arbitrary alignment (the bitmap rows of the click graph write raw
+// 64-bit words at odd bit offsets).
+func TestWriteBitsWideValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		var w BitWriter
+		// Random pre-padding forces odd alignment.
+		pad := uint(rng.Intn(17))
+		w.WriteBits(uint64(rng.Int63())&(1<<pad-1), pad)
+		n := uint(1 + rng.Intn(64))
+		v := rng.Uint64()
+		if n < 64 {
+			v &= 1<<n - 1
+		}
+		w.WriteBits(v, n)
+		r := BitReaderAt(w.Bytes(), int(pad))
+		got, err := r.ReadBits(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("pad=%d n=%d: got %x want %x", pad, n, got, v)
+		}
+	}
+}
+
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -2,7 +2,7 @@ package world
 
 import (
 	"math/rand"
-	"strings"
+	"sync"
 )
 
 // Mention describes one concept occurrence to embed in a composed document.
@@ -65,6 +65,28 @@ type Placement struct {
 	Offset int
 }
 
+// mentionSlot is one planned mention occurrence: which mention goes into
+// which sentence.
+type mentionSlot struct {
+	m        *Mention
+	idx      int
+	sentence int
+}
+
+// composeScratch is the pooled per-call state of ComposeDoc: the byte
+// builder, the sentence-occupancy table, and the slot plan. clicksim
+// composes a document per story, so this state is rented and returned per
+// call rather than reallocated; only the returned text and placements are
+// fresh allocations.
+type composeScratch struct {
+	buf    []byte
+	used   []bool
+	slots  []mentionSlot
+	bySent []int32 // sentence -> slot index, -1 when none
+}
+
+var composePool = sync.Pool{New: func() any { return new(composeScratch) }}
+
 // ComposeDoc generates a document about the given topic that embeds the
 // given mentions, returning the text and the placement of each deliberate
 // mention occurrence. Mentions with Relevant=true are placed in sentences
@@ -72,17 +94,14 @@ type Placement struct {
 // placed in ordinary topical sentences. The text is plain prose with
 // sentences and paragraphs; concept names appear verbatim (title-cased for
 // named entities) so detectors can find them.
+//
+//kw:fresh
 func (w *World) ComposeDoc(opts ComposeOptions, mentions []Mention, rng *rand.Rand) (string, []Placement) {
 	opts = opts.withDefaults()
 	topic := &w.Topics[opts.Topic%len(w.Topics)]
+	c := composePool.Get().(*composeScratch)
 
 	// Plan which sentences carry which mention.
-	type slot struct {
-		m        *Mention
-		idx      int
-		sentence int
-	}
-	var slots []slot
 	total := 0
 	for i := range mentions {
 		r := mentions[i].Repeat
@@ -95,7 +114,17 @@ func (w *World) ComposeDoc(opts ComposeOptions, mentions []Mention, rng *rand.Ra
 	if numSentences < total {
 		numSentences = total + 2
 	}
-	used := make(map[int]bool)
+	if cap(c.used) < numSentences {
+		c.used = make([]bool, numSentences)
+		c.bySent = make([]int32, numSentences)
+	}
+	used := c.used[:numSentences]
+	bySent := c.bySent[:numSentences]
+	for i := range used {
+		used[i] = false
+		bySent[i] = -1
+	}
+	slots := c.slots[:0]
 	for i := range mentions {
 		r := mentions[i].Repeat
 		if r < 1 {
@@ -107,40 +136,46 @@ func (w *World) ComposeDoc(opts ComposeOptions, mentions []Mention, rng *rand.Ra
 				s = (s + 1) % numSentences
 			}
 			used[s] = true
-			slots = append(slots, slot{m: &mentions[i], idx: i, sentence: s})
+			bySent[s] = int32(len(slots))
+			slots = append(slots, mentionSlot{m: &mentions[i], idx: i, sentence: s})
 		}
 	}
-	bySentence := make(map[int]slot, len(slots))
-	for _, s := range slots {
-		bySentence[s.sentence] = s
-	}
 
-	var b strings.Builder
+	buf := c.buf[:0]
 	var placements []Placement
+	if len(slots) > 0 {
+		placements = make([]Placement, 0, len(slots))
+	}
 	for s := 0; s < numSentences; s++ {
 		if s > 0 {
 			if s%4 == 0 {
-				b.WriteString("\n\n")
+				buf = append(buf, "\n\n"...)
 			} else {
-				b.WriteByte(' ')
+				buf = append(buf, ' ')
 			}
 		}
 		var m *Mention
 		idx := -1
-		if sl, ok := bySentence[s]; ok {
-			m, idx = sl.m, sl.idx
+		if si := bySent[s]; si >= 0 {
+			m, idx = slots[si].m, slots[si].idx
 		}
-		offset := w.composeSentence(&b, topic, m, opts, rng)
+		var offset int
+		buf, offset = w.composeSentence(buf, topic, m, opts, rng)
 		if m != nil && offset >= 0 {
 			placements = append(placements, Placement{MentionIndex: idx, Offset: offset})
 		}
 	}
-	return b.String(), placements
+	text := string(buf)
+	c.buf = buf
+	c.slots = slots
+	composePool.Put(c)
+	return text, placements
 }
 
-// composeSentence writes one sentence, returning the byte offset where the
-// mention name was written (-1 if no mention).
-func (w *World) composeSentence(b *strings.Builder, topic *Topic, m *Mention, opts ComposeOptions, rng *rand.Rand) int {
+// composeSentence appends one sentence to buf, returning the grown buffer
+// and the byte offset where the mention name was written (-1 if no
+// mention).
+func (w *World) composeSentence(buf []byte, topic *Topic, m *Mention, opts ComposeOptions, rng *rand.Rand) ([]byte, int) {
 	length := opts.WordsPerSentence/2 + rng.Intn(opts.WordsPerSentence)
 	if length < 4 {
 		length = 4
@@ -153,7 +188,7 @@ func (w *World) composeSentence(b *strings.Builder, topic *Topic, m *Mention, op
 	first := true
 	for i := 0; i < length; i++ {
 		if !first {
-			b.WriteByte(' ')
+			buf = append(buf, ' ')
 		}
 		switch {
 		case i == mentionAt:
@@ -164,23 +199,35 @@ func (w *World) composeSentence(b *strings.Builder, topic *Topic, m *Mention, op
 			if first {
 				name = TitleCase(name)
 			}
-			mentionOffset = b.Len()
-			b.WriteString(name)
+			mentionOffset = len(buf)
+			buf = append(buf, name...)
 		case m != nil && m.Relevant && m.Concept.Topic >= 0 && rng.Float64() < opts.ContextDensity*densityScale(m)*(0.3+0.7*m.Concept.Specificity):
 			// Relevant mentions pull in the concept's own context terms;
 			// how strongly depends on specificity, which is what makes
 			// snippet mining cluster for specific concepts.
 			ct := m.Concept.ContextTerms
-			b.WriteString(maybeCap(ct[rng.Intn(len(ct))], first))
+			buf = appendWord(buf, ct[rng.Intn(len(ct))], first)
 		case rng.Float64() < 0.22:
-			b.WriteString(maybeCap(connectives[rng.Intn(len(connectives))], first))
+			buf = appendWord(buf, connectives[rng.Intn(len(connectives))], first)
 		default:
-			b.WriteString(maybeCap(w.SampleTerm(topic, rng), first))
+			buf = appendWord(buf, w.SampleTerm(topic, rng), first)
 		}
 		first = false
 	}
-	b.WriteByte('.')
-	return mentionOffset
+	buf = append(buf, '.')
+	return buf, mentionOffset
+}
+
+// appendWord appends word, capitalizing the leading ASCII letter in place
+// when cap is set — the allocation-free equivalent of the old
+// ToUpper(word[:1]) + word[1:] (the generated vocabulary is ASCII).
+func appendWord(buf []byte, word string, cap bool) []byte {
+	at := len(buf)
+	buf = append(buf, word...)
+	if cap && len(word) > 0 && word[0] >= 'a' && word[0] <= 'z' {
+		buf[at] = word[0] - 'a' + 'A'
+	}
+	return buf
 }
 
 func densityScale(m *Mention) float64 {
@@ -188,11 +235,4 @@ func densityScale(m *Mention) float64 {
 		return 1
 	}
 	return m.DensityScale
-}
-
-func maybeCap(word string, cap bool) string {
-	if !cap || word == "" {
-		return word
-	}
-	return strings.ToUpper(word[:1]) + word[1:]
 }

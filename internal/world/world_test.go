@@ -192,6 +192,7 @@ func BenchmarkComposeDoc(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	c := &w.Concepts[50]
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.ComposeDoc(ComposeOptions{Topic: 2}, []Mention{{Concept: c, Relevant: true}}, rng)
 	}
