@@ -43,14 +43,20 @@ race:
 # annotate or detect path fails the build (DESIGN.md §10). The offline
 # extraction/mining benchmarks guard at a *maximum ratio below one* —
 # their baselines record the pre-interning measurements and the ≤0.40
-# ratio pins the interned paths' ≥60% allocation reduction, and the
+# ratio pins the interned paths' ≥60% allocation reduction, the
 # ComposeDoc baseline likewise holds the pre-pooling numbers with a ≤0.10
-# cap. The parallel sweep benches are floored on parEff-8 (speedup at 8
+# cap, Extract guards its packed-key/arena rewrite at ≤0.50 of the
+# string-keyed baseline, and FrameworkStemmer pins StemDoc's pooled
+# stem-memo path at ≤0.20 of the fresh-map-per-call baseline. The parallel sweep benches are floored on parEff-8 (speedup at 8
 # workers divided by usable cores), the machine-independent form of the
 # ≥2.8×-on-8-cores scaling contract. The ClickGraphScale guards compare
 # against contract values rather than measurements: total-ms 2000 is the
 # 2-second build+freeze+10-sweeps wall-clock ceiling and frozen-ratio
-# 0.35 the compressed-adjacency bound, both at ratio 1.00.
+# 0.35 the compressed-adjacency bound, both at ratio 1.00. The Ingest
+# guards are the live-tier contract: docs-per-sec floored at the 2,000
+# docs/sec streaming-ingest bar, and read-p99-ratio (p99 read latency
+# during a major merge over frozen-only p99, same corpus) capped at the
+# ≤1.3× bound via a neutral 1.0 baseline.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./... > bench.out
 	$(GO) test -run=NONE -bench='^BenchmarkAnnotate$$' -benchtime=50x . >> bench.out
@@ -62,6 +68,8 @@ bench:
 	$(GO) test -run=NONE -bench='^BenchmarkExtract$$' -benchtime=20x ./internal/units >> bench.out
 	$(GO) test -run=NONE -bench='^BenchmarkComposeDoc$$' -benchtime=200x ./internal/world >> bench.out
 	$(GO) test -run=NONE -bench='^BenchmarkRelated$$' -benchtime=50x ./internal/clickgraph >> bench.out
+	$(GO) test -run=NONE -bench='^BenchmarkIngest$$' -benchtime=6000x ./internal/searchsim >> bench.out
+	$(GO) test -run=NONE -bench='^BenchmarkFrameworkStemmer$$' -benchtime=20x . >> bench.out
 	$(GO) run ./cmd/benchjson -o BENCH.json -baseline BENCH.baseline.json \
 		-guard 'BenchmarkAnnotate:allocs/op:1.20' \
 		-guard 'BenchmarkDetect:allocs/op:1.20' \
@@ -73,12 +81,16 @@ bench:
 		-guard 'BenchmarkFields:allocs/op:0.40' \
 		-guard 'BenchmarkMineSnippets:B/op:0.40' \
 		-guard 'BenchmarkMineSnippets:allocs/op:0.40' \
-		-guard 'BenchmarkExtract:allocs/op:1.20' \
+		-guard 'BenchmarkExtract:allocs/op:0.50' \
+		-guard 'BenchmarkFrameworkStemmer:allocs/op:0.20' \
+		-guard 'BenchmarkFrameworkStemmer:B/op:0.20' \
 		-guard 'BenchmarkComposeDoc:allocs/op:0.10' \
 		-guard 'BenchmarkComposeDoc:B/op:0.10' \
 		-guard 'BenchmarkRelated:allocs/op:1.20' \
 		-guard 'BenchmarkClickGraphScale:frozen-ratio:1.00' \
 		-guard 'BenchmarkClickGraphScale:total-ms:1.00' \
+		-guard 'BenchmarkIngest:read-p99-ratio:1.30' \
+		-floor 'BenchmarkIngest:docs-per-sec:2000' \
 		-floor 'BenchmarkParallelBuild:parEff-8:0.35' \
 		-floor 'BenchmarkParallelCrossValidate:parEff-8:0.35' \
 		-floor 'BenchmarkClickGraphPropagate:parEff-8:0.35' < bench.out

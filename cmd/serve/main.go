@@ -128,6 +128,7 @@ func main() {
 		srv.Cache.FillTimeout = cacheFillTimeout(*fillTimeout, *requestTimeout)
 	}
 	srv.IndexStats = inner.Engine.Stats
+	srv.IndexEpoch = inner.Engine.Epoch
 	srv.TrustForwardedDeadline = *shardMode
 	srv.Quota = resilience.NewQuota(resilience.QuotaConfig{Burst: *quotaBurst, RatePerSec: *quotaRate})
 

@@ -82,21 +82,18 @@ var liveAnnotations = map[string][]string{
 	"internal/relevance/interned.go": {
 		"Miner.finalizeIDs //kw:fresh",
 	},
-	"internal/searchsim/bulkindex.go": {
-		"Engine.indexTokenized //kw:builder",
-	},
 	"internal/searchsim/engine.go": {
-		"Engine //kw:frozen-after(Freeze)",
-		"Engine.FreezeWorkers //kw:builder",
-		"Engine.addTokenized //kw:builder",
-		"Engine.firstOccurrence //kw:hotpath",
-		"Engine.rankHits //kw:fresh",
+		"view.firstOccurrence //kw:hotpath",
+		"view.rankHits //kw:fresh",
 	},
 	"internal/searchsim/index.go": {
-		"Engine.countPhraseDocs //kw:hotpath",
-		"Engine.intersectCount //kw:hotpath",
-		"Engine.phraseHits //kw:hotpath",
+		"view.countPhraseDocs //kw:hotpath",
+		"view.intersectCount //kw:hotpath",
+		"view.phraseHits //kw:hotpath",
 		"termCursor.loadBlockBitmap //kw:hotpath",
+	},
+	"internal/searchsim/segment.go": {
+		"segment //kw:frozen-after(seal)",
 	},
 	"internal/serve/cache.go": {
 		"cacheShard.entries //kw:guardedby(mu)",

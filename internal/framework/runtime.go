@@ -47,14 +47,19 @@ func NewRuntime(p *detect.Pipeline, it *InterestTable, kp *KeywordPacks, model *
 }
 
 // StemDoc runs the stemmer component: the stemmed version of the document
-// "is created first and stored for later usage".
+// "is created first and stored for later usage". The pass runs on a pooled
+// scratch — tokenizer buffer reused, Porter stems memoized across documents
+// — and only the returned set is allocated, since the caller owns it. The
+// token filter here is ContentWords' filter exactly (non-punct, non-empty
+// norm, non-stopword), so the returned contents are unchanged.
 func (rt *Runtime) StemDoc(text string) map[string]bool {
-	start := time.Now()
-	stems := make(map[string]bool)
-	for _, w := range textproc.ContentWords(text) {
-		stems[stem.Stem(w)] = true
+	sc := annPool.Get().(*annScratch)
+	defer annPool.Put(sc)
+	rt.stemPass(sc, text)
+	stems := make(map[string]bool, len(sc.stems))
+	for s := range sc.stems {
+		stems[s] = true
 	}
-	rt.stemNanos.Add(time.Since(start).Nanoseconds())
 	return stems
 }
 

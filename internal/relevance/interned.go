@@ -40,10 +40,18 @@ type termTable struct {
 	sug   termFacts
 }
 
+// tokenSource is the read side of a vocabulary — satisfied by both
+// match.Vocab (query log) and searchsim.Vocab (the live engine's
+// concurrent-read vocabulary).
+type tokenSource interface {
+	Len() int
+	Token(id uint32) string
+}
+
 // buildFacts derives the fact table for one vocabulary. Idf and document
 // frequency always come from the engine dictionary — the string path scores
 // suggestion terms with engine idf too.
-func buildFacts(voc *match.Vocab, dict *corpus.Dictionary, stems *match.Vocab) termFacts {
+func buildFacts(voc tokenSource, dict *corpus.Dictionary, stems *match.Vocab) termFacts {
 	n := voc.Len()
 	f := termFacts{
 		stemOf: make([]uint32, n),
@@ -186,6 +194,12 @@ func (mn *Miner) mineSnippetsIDs(concept string) corpus.Vector {
 	touched := sc.touched[:0]
 	mn.engine.VisitSnippetTokens(concept, SnippetDepth, func(tokens []uint32, lo, hi int) {
 		for _, id := range tokens[lo:hi] {
+			if int(id) >= len(score) {
+				// A term interned after this miner's fact table was built
+				// (live ingest ran since): no idf/stem facts exist for it,
+				// so it cannot contribute — skip instead of faulting.
+				continue
+			}
 			if score[id] == 0 {
 				touched = append(touched, id)
 			}
@@ -206,6 +220,9 @@ func (mn *Miner) minePrismaIDs(concept string) corpus.Vector {
 	score := sc.score
 	touched := sc.touched[:0]
 	mn.prisma.VisitFeedback(concept, func(term uint32, weight float64) {
+		if int(term) >= len(score) {
+			return // interned after the fact table was built; see mineSnippetsIDs
+		}
 		if score[term] == 0 {
 			touched = append(touched, term)
 		}

@@ -51,12 +51,13 @@ func BenchmarkPhraseEval(b *testing.B) {
 	for i := range w.Concepts {
 		names[i] = w.Concepts[i].Name
 	}
+	v := e.queryView()
 	sc := getScratch()
 	defer putScratch(sc)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.phraseHits(e.internIDs(textproc.Words(names[i%len(names)]), sc), sc)
+		v.phraseHits(e.internIDs(textproc.Words(names[i%len(names)]), sc), sc)
 	}
 }
 

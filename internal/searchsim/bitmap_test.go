@@ -27,8 +27,8 @@ func randomPostingList(rng *rand.Rand, maxDoc int, density float64) *postingList
 // init path is exercised by the differential suite; here we compare the two
 // doc-stream representations in isolation).
 func frozenCursor(fl *frozenList) *termCursor {
-	c := &termCursor{blk: -1}
-	c.fl, c.n = fl, int(fl.nDocs)
+	c := &termCursor{}
+	c.init(listView(nil, []frozenList{*fl}), 0)
 	return c
 }
 

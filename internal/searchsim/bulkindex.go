@@ -41,13 +41,17 @@ type indexChunk struct {
 }
 
 // indexTokenized bulk-indexes pre-tokenized documents with the given worker
-// fan-out (internal/par semantics: 0 means NumCPU). It may be called on any
-// unfrozen engine; documents are appended after the existing ones.
-//
-//kw:builder
+// fan-out (internal/par semantics: 0 means NumCPU). On an unfrozen engine
+// documents are appended after the existing ones, visible immediately. On a
+// live (frozen) engine the bulk path degenerates to serial memtable appends
+// — the parallel phases below assume exclusive ownership of e.raw, which
+// only the build phase has.
 func (e *Engine) indexTokenized(docs []rawDoc, workers int) {
-	if e.frozen != nil {
-		panic("searchsim: Add after Freeze — the frozen index is immutable")
+	if e.cur.Load() != nil {
+		for i := range docs {
+			e.addLive(docs[i].text, docs[i].tokens, docs[i].topic)
+		}
+		return
 	}
 	nd := len(docs)
 	if nd == 0 {

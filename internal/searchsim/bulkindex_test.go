@@ -87,16 +87,33 @@ func TestBulkIndexIncremental(t *testing.T) {
 	engineEqual(t, "incremental", bulk, serial)
 }
 
-func TestBulkIndexAfterFreezePanics(t *testing.T) {
+// Bulk indexing after Freeze no longer panics: it lands in the live
+// memtable (the old panic contract retired with the two-tier rework) and a
+// Commit makes the docs visible with answers equal to a from-scratch build
+// over the concatenated stream.
+func TestBulkIndexAfterFreezeAppends(t *testing.T) {
+	docs := randomRawDocs(3, 40)
 	e := NewEngine()
-	e.indexTokenized(randomRawDocs(3, 5), 2)
+	e.indexTokenized(docs[:25], 2)
 	e.Freeze()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("indexTokenized after Freeze did not panic")
+	e.indexTokenized(docs[25:], 3)
+	if n := e.NumDocs(); n != 25 {
+		t.Fatalf("pre-commit visible docs = %d, want 25 (memtable must stay private)", n)
+	}
+	e.Commit()
+	if n := e.NumDocs(); n != len(docs) {
+		t.Fatalf("post-commit visible docs = %d, want %d", n, len(docs))
+	}
+	want := NewEngine()
+	for _, d := range docs {
+		want.addTokenized(d.text, d.tokens, d.topic)
+	}
+	want.Freeze()
+	for _, q := range []string{"w00", "w01 w02", "w10 w11 w12", "w59"} {
+		if g, w := e.ResultCount(q), want.ResultCount(q); g != w {
+			t.Fatalf("ResultCount(%q) = %d, want %d", q, g, w)
 		}
-	}()
-	e.indexTokenized(randomRawDocs(4, 1), 1)
+	}
 }
 
 // FreezeWorkers must produce the identical frozen index at every worker
@@ -110,7 +127,7 @@ func TestFreezeWorkersDeterministic(t *testing.T) {
 		e := NewEngine()
 		e.indexTokenized(docs, 1)
 		e.FreezeWorkers(w)
-		if !reflect.DeepEqual(e.frozen, want.frozen) {
+		if !reflect.DeepEqual(e.segs[0].frozen, want.segs[0].frozen) {
 			t.Fatalf("FreezeWorkers(%d) frozen lists diverged", w)
 		}
 		if e.stats != want.stats {

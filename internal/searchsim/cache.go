@@ -11,14 +11,18 @@ import (
 // cross-shard coordination.
 const countCacheShards = 16
 
-// countCache memoizes ResultCount by phrase. It is only attached to frozen
-// engines: freezing makes the index immutable, which is what makes the memo
-// sound. Values are plain ints computed deterministically from the index, so
-// concurrent fills of the same key are idempotent.
+// countCache memoizes ResultCount by phrase. It is only attached to
+// published views: a view's visible index never changes, which is what makes
+// the memo sound — the engine installs a fresh cache exactly when the
+// visibility horizon moves (and carries the cache across pure compaction
+// republishes, which change no answer). Values are plain ints computed
+// deterministically from the index, so concurrent fills of the same key are
+// idempotent. Hit/miss counters are engine-owned atomics so /statz
+// accounting survives cache rollover.
 type countCache struct {
 	shards [countCacheShards]countShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits   *atomic.Int64
+	misses *atomic.Int64
 }
 
 type countShard struct {
@@ -27,8 +31,8 @@ type countShard struct {
 	m map[string]int
 }
 
-func newCountCache() *countCache {
-	c := &countCache{}
+func newCountCache(hits, misses *atomic.Int64) *countCache {
+	c := &countCache{hits: hits, misses: misses}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]int)
 	}
@@ -69,9 +73,4 @@ func (c *countCache) put(phrase string, n int) {
 	s.mu.Lock()
 	s.m[phrase] = n
 	s.mu.Unlock()
-}
-
-// stats returns the cumulative hit/miss counters.
-func (c *countCache) stats() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
 }

@@ -267,8 +267,8 @@ func TestDifferentialResultCounts(t *testing.T) {
 			t.Fatalf("frozen ResultCountAnyOrder(%q) = %d, want %d", phrase, got, wantAny)
 		}
 	}
-	if hits, misses := frozen.cache.stats(); hits == 0 || misses == 0 {
-		t.Fatalf("memo cache not exercised: hits=%d misses=%d", hits, misses)
+	if st := frozen.Stats(); st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Fatalf("memo cache not exercised: hits=%d misses=%d", st.CacheHits, st.CacheMisses)
 	}
 }
 
@@ -343,15 +343,39 @@ func TestFrozenStatsAndCompression(t *testing.T) {
 		100*float64(st.FrozenBytes)/float64(st.RawBytes))
 }
 
-func TestAddAfterFreezePanics(t *testing.T) {
+// Add after Freeze appends to the live memtable (the pre-LSM panic contract
+// is deliberately retired): invisible until Commit, then queryable, with the
+// epoch advancing exactly once per visibility change.
+func TestAddAfterFreezeAppends(t *testing.T) {
 	e := NewEngine()
 	e.Add("one two three", 0)
 	e.Freeze()
 	e.Freeze() // idempotent
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Add after Freeze did not panic")
-		}
-	}()
-	e.Add("four five", 0)
+	ep0 := e.Epoch()
+	if ep0 == 0 {
+		t.Fatal("frozen engine must publish a nonzero epoch")
+	}
+	id := e.Add("four five", 0)
+	if id != 1 {
+		t.Fatalf("live Add assigned id %d, want 1", id)
+	}
+	if got := e.ResultCount("four five"); got != 0 {
+		t.Fatalf("uncommitted doc visible: ResultCount = %d, want 0", got)
+	}
+	if e.Epoch() != ep0 {
+		t.Fatalf("epoch moved without a visibility change: %d -> %d", ep0, e.Epoch())
+	}
+	ep1 := e.Commit()
+	if ep1 != ep0+1 {
+		t.Fatalf("Commit epoch = %d, want %d", ep1, ep0+1)
+	}
+	if got := e.ResultCount("four five"); got != 1 {
+		t.Fatalf("committed doc not visible: ResultCount = %d, want 1", got)
+	}
+	if got := e.ResultCount("one two three"); got != 1 {
+		t.Fatalf("base doc lost: ResultCount = %d, want 1", got)
+	}
+	if ep := e.Commit(); ep != ep1 {
+		t.Fatalf("empty Commit moved the epoch: %d -> %d", ep1, ep)
+	}
 }

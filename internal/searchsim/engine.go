@@ -4,17 +4,24 @@
 // paper's best relevance-mining resource), Prisma-style pseudo-relevance
 // feedback, and related-query suggestions.
 //
-// The index interns every corpus term to a dense uint32 id (the
-// internal/match.Vocab idiom), evaluates phrase queries by positional
-// intersection — rarest term drives, the others gallop — and, once frozen,
-// serves queries from Golomb-compressed posting lists with skip blocks
-// (index.go). Results are bit-identical to the straightforward
-// string-scanning engine; the differential tests pin that.
+// The index interns every corpus term to a dense uint32 id, evaluates phrase
+// queries by positional intersection — rarest term drives, the others gallop
+// — and serves frozen postings from Golomb-compressed lists with skip blocks
+// (index.go). Since the live-segmented rework the engine is an LSM-style
+// two-tier store (segment.go): Freeze seals the bulk corpus into the base
+// frozen segment, later Adds append to a mutable memtable that seals into
+// raw segments, and background compaction folds segment runs back into
+// compressed form. Readers always query an atomically-published immutable
+// view — no lock on the query path — and results are bit-identical to a
+// from-scratch build over the same docs; the differential tests pin that.
 package searchsim
 
 import (
+	"slices"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"contextrank/internal/corpus"
 	"contextrank/internal/match"
@@ -24,6 +31,11 @@ import (
 
 // noTermID marks a query term absent from the corpus vocabulary.
 const noTermID = match.NoID
+
+// memFlushDocs is the mutable memtable's auto-seal threshold: once this many
+// docs accumulate the memtable seals into a raw segment and becomes visible.
+// Commit seals and publishes earlier on demand.
+const memFlushDocs = 256
 
 // Doc is one indexed document.
 type Doc struct {
@@ -40,33 +52,72 @@ type Doc struct {
 
 // Engine is the simulated search engine. It has two phases:
 //
-//   - Building: Add/addTokenized append to raw (uncompressed) posting lists.
-//   - Frozen: after Freeze, postings live only in Golomb-compressed form,
-//     the engine is immutable and safe for concurrent queries, and
-//     ResultCount is memoized. Add after Freeze panics.
+//   - Building: Add/addTokenized append to raw (uncompressed) posting lists,
+//     visible immediately; single-goroutine.
+//   - Live (after Freeze): the bulk corpus is sealed into the base frozen
+//     segment and queries run lock-free against published views. Add keeps
+//     working — it appends to a writer-private memtable that seals into
+//     immutable raw segments (at memFlushDocs, or on Commit), and Compact
+//     folds segment runs into compressed form in the background. One writer
+//     at a time; any number of concurrent readers.
 //
-//kw:frozen-after(Freeze)
+// ResultCount is memoized per view once frozen — the memo is sound because
+// a view's visible index never changes; a new memo is installed exactly when
+// the visibility horizon moves (Epoch tracks that for external caches).
 type Engine struct {
+	// Docs is the writer's document store. It is append-only; published
+	// views expose the visible prefix. With live ingest running, read
+	// through Doc/NumDocs (or a view) rather than this field.
 	Docs []Doc
 
-	vocab  *match.Vocab
-	raw    []postingList // indexed by term id; nil once frozen
-	frozen []frozenList  // nil until Freeze
-	dict   *corpus.Dictionary
-	cache  *countCache // ResultCount memo; created by Freeze
-	stats  IndexStats  // size accounting captured by Freeze
-	stopID []bool      // term id -> is a stopword; built by Freeze for the id-keyed miners
+	vocab *Vocab
+	dict  *corpus.Dictionary
+	raw   []postingList // build-phase postings; nil once frozen
+
+	// cur is the published snapshot readers query. nil until Freeze; after
+	// that, swapped atomically and never mutated in place.
+	cur atomic.Pointer[view]
+
+	// mu serializes writers (Add/Commit/compaction install) in the live
+	// phase. Never taken on the query path.
+	mu   sync.Mutex
+	segs []*segment // published segment stack (writer's master copy)
+	// mem is the memtable's dense term-id-indexed scratch, reused across
+	// seals: sealing copies out only the touched lists (memTouched) and
+	// zeroes those entries, so per-commit cost is O(touched terms), never
+	// O(vocabulary).
+	mem        []postingList
+	memTouched []uint32
+	memBase    int32 // global doc id of the memtable's first doc
+	memDocs    int
+	epoch      uint64
+
+	stopID []bool     // term id -> is a stopword; built by Freeze, grown by Add
+	stats  IndexStats // size accounting captured by Freeze
+
+	// Live counters (atomics: read by Stats concurrently with the writer).
+	memDocsLive atomic.Int32
+	ingested    atomic.Int64
+	compactions atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	// compactMu admits one compactor at a time so concurrent Compact calls
+	// never merge overlapping runs. Writers and readers never take it.
+	compactMu sync.Mutex
 }
 
 // NewEngine creates an empty engine.
 func NewEngine() *Engine {
 	return &Engine{
-		vocab: match.NewVocab(),
+		vocab: NewVocab(),
 		dict:  corpus.NewDictionary(),
 	}
 }
 
-// Add indexes a document and returns its ID.
+// Add indexes a document and returns its ID. Before Freeze the doc is
+// visible immediately; after Freeze it lands in the mutable memtable and
+// becomes visible at the next seal (memFlushDocs) or Commit.
 func (e *Engine) Add(text string, topic int) int {
 	return e.addTokenized(text, textproc.Words(text), topic)
 }
@@ -74,11 +125,9 @@ func (e *Engine) Add(text string, topic int) int {
 // addTokenized indexes a document whose tokens were computed by the caller
 // (the parallel corpus builder tokenizes in its workers and merges here, in
 // input order, on one goroutine).
-//
-//kw:builder
 func (e *Engine) addTokenized(text string, tokens []string, topic int) int {
-	if e.frozen != nil {
-		panic("searchsim: Add after Freeze — the frozen index is immutable")
+	if e.cur.Load() != nil {
+		return e.addLive(text, tokens, topic)
 	}
 	id := len(e.Docs)
 	ids := make([]uint32, len(tokens))
@@ -95,22 +144,133 @@ func (e *Engine) addTokenized(text string, tokens []string, topic int) int {
 	return id
 }
 
+// addLive appends one document to the mutable memtable under the writer
+// lock. The doc id is assigned immediately; visibility waits for the seal.
+func (e *Engine) addLive(text string, tokens []string, topic int) int {
+	e.mu.Lock()
+	id := len(e.Docs)
+	local := int32(id) - e.memBase
+	ids := make([]uint32, len(tokens))
+	for pos, term := range tokens {
+		tid := e.vocab.Intern(term)
+		ids[pos] = tid
+		if int(tid) >= len(e.mem) {
+			e.mem = append(e.mem, make([]postingList, e.vocab.Len()-len(e.mem))...)
+		}
+		pl := &e.mem[tid]
+		if len(pl.docs) == 0 {
+			e.memTouched = append(e.memTouched, tid)
+		}
+		pl.add(local, int32(pos))
+	}
+	for len(e.stopID) < e.vocab.Len() {
+		e.stopID = append(e.stopID, textproc.IsStopword(e.vocab.Token(uint32(len(e.stopID)))))
+	}
+	e.Docs = append(e.Docs, Doc{ID: id, Text: text, Tokens: ids, Topic: topic})
+	e.dict.AddDocument(tokens)
+	e.memDocs++
+	e.memDocsLive.Store(int32(e.memDocs))
+	e.ingested.Add(1)
+	if e.memDocs >= memFlushDocs {
+		e.sealLocked()
+		e.publishLocked()
+	}
+	e.mu.Unlock()
+	return id
+}
+
+// sealLocked transfers the memtable's touched posting lists into an
+// immutable sparse raw segment. Caller holds mu. The transferred lists are
+// never appended to again — their dense scratch slots are zeroed so the next
+// Add builds fresh lists — which is what lets views share them without
+// synchronization. Cost is O(touched terms), independent of vocabulary size.
+func (e *Engine) sealLocked() {
+	if e.memDocs == 0 {
+		return
+	}
+	slices.Sort(e.memTouched)
+	terms := make([]uint32, len(e.memTouched))
+	lists := make([]postingList, len(e.memTouched))
+	for i, tid := range e.memTouched {
+		terms[i] = tid
+		lists[i] = e.mem[tid]
+		e.mem[tid] = postingList{}
+	}
+	seg := newSparseRawSegment(e.memBase, int32(e.memDocs), terms, lists)
+	e.segs = append(e.segs, seg)
+	e.memBase += int32(e.memDocs)
+	e.memTouched = e.memTouched[:0]
+	e.memDocs = 0
+	e.memDocsLive.Store(0)
+}
+
+// publishLocked swaps in a new view over the current segment stack. Caller
+// holds mu. The epoch — and with it the ResultCount memo — rolls over
+// exactly when the visibility horizon moves; a pure compaction republish
+// keeps both, because compaction never changes any query answer.
+func (e *Engine) publishLocked() {
+	old := e.cur.Load()
+	horizon := int(e.memBase)
+	epoch := e.epoch
+	var cache *countCache
+	if old != nil {
+		cache = old.cache
+	}
+	if old == nil || len(old.docs) != horizon {
+		e.epoch++
+		epoch = e.epoch
+		cache = newCountCache(&e.cacheHits, &e.cacheMisses)
+	}
+	v := &view{
+		segs:   append([]*segment(nil), e.segs...),
+		docs:   e.Docs[:horizon:horizon],
+		stopID: e.stopID[:len(e.stopID):len(e.stopID)],
+		vocab:  e.vocab,
+		epoch:  epoch,
+		cache:  cache,
+	}
+	e.cur.Store(v)
+}
+
+// Commit seals any pending memtable docs and publishes them, returning the
+// resulting epoch. On an unfrozen engine it is a no-op (the build phase is
+// always visible).
+func (e *Engine) Commit() uint64 {
+	if e.cur.Load() == nil {
+		return 0
+	}
+	e.mu.Lock()
+	e.sealLocked()
+	e.publishLocked()
+	ep := e.epoch
+	e.mu.Unlock()
+	return ep
+}
+
+// Epoch returns the published visibility epoch: 0 until Freeze, then a
+// counter that increments exactly when new documents become visible.
+// External caches keyed by (query, epoch) are invalidated precisely when
+// answers can change.
+func (e *Engine) Epoch() uint64 {
+	if v := e.cur.Load(); v != nil {
+		return v.epoch
+	}
+	return 0
+}
+
 // Freeze compresses every posting list with the Golomb delta coder (or a doc
-// bitmap for dense terms) and drops the raw lists, making the engine
-// immutable. Queries keep working — served from the compressed lists via
-// skip-block partial decoding — and ResultCount becomes memoized
-// (memoization is sound precisely because the index can no longer change).
-// Freeze is idempotent.
+// bitmap for dense terms) into the base frozen segment and switches the
+// engine to the live two-tier mode: queries run against published snapshots
+// and ResultCount becomes memoized per visibility epoch. Freeze is
+// idempotent.
 func (e *Engine) Freeze() { e.FreezeWorkers(1) }
 
 // FreezeWorkers is Freeze with the per-term compression fanned out across
 // workers (internal/par semantics: 0 means NumCPU). freezeList is a pure
-// function of one raw list, so the frozen index is bit-identical at every
+// function of one raw list, so the frozen segment is bit-identical at every
 // worker count; the stats pass stays serial.
-//
-//kw:builder
 func (e *Engine) FreezeWorkers(workers int) {
-	if e.frozen != nil {
+	if e.cur.Load() != nil {
 		return
 	}
 	raw := e.raw
@@ -132,52 +292,131 @@ func (e *Engine) FreezeWorkers(workers int) {
 	for id := range stop {
 		stop[id] = textproc.IsStopword(e.vocab.Token(uint32(id)))
 	}
-	e.frozen = fr
-	e.raw = nil // release the raw postings; the compressed lists answer everything
+	seg := newFrozenSegment(0, int32(len(e.Docs)), fr)
+	e.mu.Lock()
+	e.raw = nil // release the raw postings; the frozen segment answers everything
 	e.stats = st
-	e.cache = newCountCache()
 	e.stopID = stop
+	e.segs = []*segment{seg}
+	e.memBase = int32(len(e.Docs))
+	e.publishLocked()
+	e.mu.Unlock()
 }
 
-// Frozen reports whether Freeze has run.
-func (e *Engine) Frozen() bool { return e.frozen != nil }
-
-// numTerms returns the number of terms with posting lists.
-func (e *Engine) numTerms() int {
-	if e.frozen != nil {
-		return len(e.frozen)
+// Compact runs one size-tiered compaction round: if the newest segments form
+// a mergeable run (compactRange), they are merged off-lock into one frozen
+// segment and the result is spliced in. Returns whether a merge ran.
+// Concurrent with readers (always) and with the writer (the merge itself
+// runs without mu; only the splice takes it). One compactor at a time.
+func (e *Engine) Compact(workers int) bool {
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+	e.mu.Lock()
+	segs := append([]*segment(nil), e.segs...)
+	e.mu.Unlock()
+	lo, hi := compactRange(segs)
+	if hi-lo < 2 {
+		return false
 	}
-	return len(e.raw)
+	run := segs[lo:hi]
+	var merged *segment
+	if width := run[len(run)-1].base + run[len(run)-1].nDocs - run[0].base; allRaw(run) && int(width) < majorMergeDocs {
+		merged = mergeRawSegments(run, workers)
+	} else {
+		merged = mergeSegments(run, workers)
+	}
+	e.installMerged(segs, lo, hi, merged)
+	return true
 }
 
-// docCount returns the document frequency of term id.
-func (e *Engine) docCount(id uint32) int {
-	if id == noTermID || int(id) >= e.numTerms() {
-		return 0
+// CompactAll merges the whole published segment stack into one frozen
+// segment — the full-merge used by the differential suite to compare the
+// live engine's frozen image against a from-scratch build. Pending memtable
+// docs are not included; Commit first to publish them. Returns whether a
+// merge ran (false when the stack is already a single frozen segment).
+func (e *Engine) CompactAll(workers int) bool {
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+	e.mu.Lock()
+	segs := append([]*segment(nil), e.segs...)
+	e.mu.Unlock()
+	if len(segs) == 0 || (len(segs) == 1 && segs[0].frozen != nil) {
+		return false
 	}
-	if e.frozen != nil {
-		return int(e.frozen[id].nDocs)
-	}
-	return len(e.raw[id].docs)
+	merged := mergeSegments(segs, workers)
+	e.installMerged(segs, 0, len(segs), merged)
+	return true
 }
 
-// NumDocs returns the number of indexed documents.
-func (e *Engine) NumDocs() int { return len(e.Docs) }
+// installMerged splices merged over snapshot[lo:hi] in the live stack. The
+// writer may have sealed new segments since the snapshot was taken, but
+// seals only append — the spliced region is position-stable, and the
+// pointer check turns any violation of that invariant into a loud failure
+// instead of silent index corruption.
+func (e *Engine) installMerged(snapshot []*segment, lo, hi int, merged *segment) {
+	e.mu.Lock()
+	if e.segs[lo] != snapshot[lo] || e.segs[hi-1] != snapshot[hi-1] {
+		e.mu.Unlock()
+		panic("searchsim: segment stack mutated under compaction")
+	}
+	ns := make([]*segment, 0, len(e.segs)-(hi-lo)+1)
+	ns = append(ns, e.segs[:lo]...)
+	ns = append(ns, merged)
+	ns = append(ns, e.segs[hi:]...)
+	e.segs = ns
+	e.publishLocked()
+	e.mu.Unlock()
+	e.compactions.Add(1)
+}
 
-// Vocab returns the corpus term vocabulary (term string ↔ dense id).
-func (e *Engine) Vocab() *match.Vocab { return e.vocab }
+// Frozen reports whether Freeze has run (the engine is in live mode).
+func (e *Engine) Frozen() bool { return e.cur.Load() != nil }
+
+// queryView returns the snapshot a query evaluates against: the published
+// view in live mode (one atomic load, no locks), or a transient view over
+// the build-phase raw lists before Freeze.
+func (e *Engine) queryView() *view {
+	if v := e.cur.Load(); v != nil {
+		return v
+	}
+	return &view{
+		segs:   []*segment{newRawSegment(0, int32(len(e.Docs)), e.raw)},
+		docs:   e.Docs,
+		stopID: e.stopID,
+		vocab:  e.vocab,
+	}
+}
+
+// NumDocs returns the number of visible documents.
+func (e *Engine) NumDocs() int {
+	if v := e.cur.Load(); v != nil {
+		return len(v.docs)
+	}
+	return len(e.Docs)
+}
+
+// Vocab returns the corpus term vocabulary (term string ↔ dense id). Safe
+// for concurrent lookups while ingest runs.
+func (e *Engine) Vocab() *Vocab { return e.vocab }
 
 // Dictionary returns the term-document-frequency dictionary over the indexed
 // corpus — the stand-in for "all the web documents that are indexed by
-// Yahoo! Search" used by the concept-vector generator.
+// Yahoo! Search" used by the concept-vector generator. The dictionary is the
+// writer's master copy: with live ingest running it is not safe for
+// concurrent use (quiesce the writer first); the query path itself never
+// touches it.
 func (e *Engine) Dictionary() *corpus.Dictionary { return e.dict }
 
-// Doc returns the document with the given ID, or nil.
+// Doc returns the visible document with the given ID, or nil.
 func (e *Engine) Doc(id int) *Doc {
-	if id < 0 || id >= len(e.Docs) {
+	docs := e.Docs
+	if v := e.cur.Load(); v != nil {
+		docs = v.docs
+	}
+	if id < 0 || id >= len(docs) {
 		return nil
 	}
-	return &e.Docs[id]
+	return &docs[id]
 }
 
 // IndexStats reports index size and cache accounting (surfaced in /statz).
@@ -189,34 +428,53 @@ type IndexStats struct {
 
 	// RawBytes is the int32 payload of the uncompressed posting lists;
 	// FrozenBytes is the resident footprint of the Golomb streams plus skip
-	// tables. Captured at Freeze time. BitmapTerms counts the dense terms
-	// whose frozen doc stream is a bitmap rather than a Golomb gap list.
+	// tables. Captured at Freeze time over the base segment (live segments
+	// are excluded so the compression accounting stays comparable across
+	// runs). BitmapTerms counts the dense terms whose frozen doc stream is a
+	// bitmap rather than a Golomb gap list.
 	RawBytes    int  `json:"raw_bytes"`
 	FrozenBytes int  `json:"frozen_bytes"`
 	BitmapTerms int  `json:"bitmap_terms"`
 	Frozen      bool `json:"frozen"`
+
+	// Live two-tier accounting: the published segment stack, pending
+	// (not yet visible) memtable docs, the visibility epoch, and the
+	// cumulative ingest/compaction counters.
+	Segments    int    `json:"segments"`
+	MemDocs     int    `json:"mem_docs"`
+	Epoch       uint64 `json:"epoch"`
+	Ingested    int64  `json:"ingested_docs"`
+	Compactions int64  `json:"compactions"`
 
 	CacheHits   int64 `json:"result_count_cache_hits"`
 	CacheMisses int64 `json:"result_count_cache_misses"`
 }
 
 // Stats returns current index statistics. Size accounting is captured by
-// Freeze; on an unfrozen engine it is computed on the fly.
+// Freeze; on an unfrozen engine it is computed on the fly. Safe to call
+// concurrently with ingest and queries.
 func (e *Engine) Stats() IndexStats {
+	v := e.cur.Load()
 	st := e.stats
-	if e.frozen == nil {
+	if v == nil {
 		st = IndexStats{}
 		for i := range e.raw {
 			st.Postings += len(e.raw[i].docs)
 			st.Positions += len(e.raw[i].positions)
 			st.RawBytes += e.raw[i].rawBytes()
 		}
+		st.Docs = len(e.Docs)
+	} else {
+		st.Docs = len(v.docs)
+		st.Segments = len(v.segs)
+		st.Epoch = v.epoch
+		st.MemDocs = int(e.memDocsLive.Load())
+		st.Ingested = e.ingested.Load()
+		st.Compactions = e.compactions.Load()
 	}
-	st.Docs = len(e.Docs)
 	st.Terms = e.vocab.Len()
-	if e.cache != nil {
-		st.CacheHits, st.CacheMisses = e.cache.stats()
-	}
+	st.CacheHits = e.cacheHits.Load()
+	st.CacheMisses = e.cacheMisses.Load()
 	return st
 }
 
@@ -234,20 +492,21 @@ func (e *Engine) internIDs(terms []string, sc *evalScratch) []uint32 {
 // ResultCount returns the number of documents matching phrase as an exact
 // phrase query — the paper's interestingness feature (4)
 // searchengine_phrase ("very specific concepts would return fewer results
-// than the more general concepts"). On a frozen engine the count is memoized
-// in a sharded cache: the batch feature extractor queries many repeated
-// sub-phrases.
+// than the more general concepts"). In live mode the count is memoized in
+// the view's sharded cache: the batch feature extractor queries many
+// repeated sub-phrases, and the memo is sound because a view never changes.
 func (e *Engine) ResultCount(phrase string) int {
-	if e.cache != nil {
-		if n, ok := e.cache.get(phrase); ok {
+	v := e.queryView()
+	if v.cache != nil {
+		if n, ok := v.cache.get(phrase); ok {
 			return n
 		}
 	}
 	sc := getScratch()
-	n := e.countPhraseDocs(e.internIDs(textproc.Words(phrase), sc), sc)
+	n := v.countPhraseDocs(e.internIDs(textproc.Words(phrase), sc), sc)
 	putScratch(sc)
-	if e.cache != nil {
-		e.cache.put(phrase, n)
+	if v.cache != nil {
+		v.cache.put(phrase, n)
 	}
 	return n
 }
@@ -261,6 +520,7 @@ func (e *Engine) ResultCountAnyOrder(phrase string) int {
 	if len(terms) == 0 {
 		return 0
 	}
+	v := e.queryView()
 	sc := getScratch()
 	defer putScratch(sc)
 	// Dedup while interning; one absent term empties the conjunction.
@@ -285,9 +545,9 @@ func (e *Engine) ResultCountAnyOrder(phrase string) int {
 	if len(ids) == 1 {
 		// Single distinct term: the answer is its document frequency — no
 		// intersection machinery needed.
-		return e.docCount(ids[0])
+		return v.df(ids[0])
 	}
-	return e.intersectCount(ids, sc)
+	return v.intersectCount(ids, sc)
 }
 
 // Result is one ranked search result.
@@ -303,17 +563,17 @@ type Result struct {
 // reproducible. The result slice is always freshly allocated.
 //
 //kw:fresh
-func (e *Engine) rankHits(terms []string, hits []phraseHit, k int) []Result {
+func (v *view) rankHits(terms []string, hits []phraseHit, k int) []Result {
 	if len(hits) == 0 {
 		return nil
 	}
 	idf := 0.0
 	for _, t := range terms {
-		idf += e.dict.IDF(t)
+		idf += v.idf(t)
 	}
 	results := make([]Result, 0, len(hits))
 	for _, h := range hits {
-		docLen := len(e.Docs[h.doc].Tokens)
+		docLen := len(v.docs[h.doc].Tokens)
 		if docLen == 0 {
 			continue
 		}
@@ -336,10 +596,11 @@ func (e *Engine) rankHits(terms []string, hits []phraseHit, k int) []Result {
 // tf·idf-flavoured score.
 func (e *Engine) Search(phrase string, k int) []Result {
 	terms := textproc.Words(phrase)
+	v := e.queryView()
 	sc := getScratch()
 	defer putScratch(sc)
-	hits := e.phraseHits(e.internIDs(terms, sc), sc)
-	return e.rankHits(terms, hits, k)
+	hits := v.phraseHits(e.internIDs(terms, sc), sc)
+	return v.rankHits(terms, hits, k)
 }
 
 // SearchAnyTerm runs a bag-of-words (OR) query: documents containing any of
@@ -352,6 +613,7 @@ func (e *Engine) SearchAnyTerm(query string, k int) []Result {
 	if len(terms) == 0 {
 		return nil
 	}
+	v := e.queryView()
 	sc := getScratch()
 	defer putScratch(sc)
 	scores := make(map[int]float64)
@@ -362,14 +624,14 @@ func (e *Engine) SearchAnyTerm(query string, k int) []Result {
 			continue
 		}
 		seen[t] = true
-		idf := e.dict.IDF(t)
-		if !c.init(e, e.vocab.ID(t)) {
+		idf := v.idf(t)
+		if !c.init(v, e.vocab.ID(t)) {
 			continue
 		}
 		// Sequential walk: only doc and frequency streams are decoded —
 		// position data stays untouched on the OR path.
 		for doc, ok := c.seekGEQ(0); ok; doc, ok = c.seekGEQ(doc + 1) {
-			docLen := len(e.Docs[doc].Tokens)
+			docLen := len(v.docs[doc].Tokens)
 			if docLen == 0 {
 				continue
 			}
@@ -401,7 +663,7 @@ const SnippetWidth = 20
 // phrase. Cursor-based: never rescans document text.
 //
 //kw:hotpath
-func (e *Engine) firstOccurrence(docID int32, ids []uint32, sc *evalScratch) int32 {
+func (v *view) firstOccurrence(docID int32, ids []uint32, sc *evalScratch) int32 {
 	k := len(ids)
 	if k == 0 {
 		return -1
@@ -411,7 +673,7 @@ func (e *Engine) firstOccurrence(docID int32, ids []uint32, sc *evalScratch) int
 	}
 	cs := sc.cursors[:k]
 	for i, id := range ids {
-		if !cs[i].init(e, id) {
+		if !cs[i].init(v, id) {
 			return -1
 		}
 		d, ok := cs[i].seekGEQ(docID)
@@ -443,8 +705,8 @@ func (e *Engine) firstOccurrence(docID int32, ids []uint32, sc *evalScratch) int
 
 // snippetAt renders the snippet window of doc around a phrase occurrence at
 // token position `at` spanning termLen tokens.
-func (e *Engine) snippetAt(docID, at, termLen int) string {
-	d := &e.Docs[docID]
+func (v *view) snippetAt(docID, at, termLen int) string {
+	d := &v.docs[docID]
 	lo := at - SnippetWidth
 	if lo < 0 {
 		lo = 0
@@ -458,7 +720,7 @@ func (e *Engine) snippetAt(docID, at, termLen int) string {
 		if i > lo {
 			b.WriteByte(' ')
 		}
-		b.WriteString(e.vocab.Token(d.Tokens[i]))
+		b.WriteString(v.vocab.Token(d.Tokens[i]))
 	}
 	return b.String()
 }
@@ -473,28 +735,30 @@ func (e *Engine) snippetAt(docID, at, termLen int) string {
 // SnippetWidth). A nonexistent doc id or an empty document yields "".
 func (e *Engine) Snippet(docID int, phrase string) string {
 	terms := textproc.Words(phrase)
-	d := e.Doc(docID)
-	if d == nil || len(d.Tokens) == 0 {
+	v := e.queryView()
+	if docID < 0 || docID >= len(v.docs) || len(v.docs[docID].Tokens) == 0 {
 		return ""
 	}
 	sc := getScratch()
-	at := e.firstOccurrence(int32(docID), e.internIDs(terms, sc), sc)
+	at := v.firstOccurrence(int32(docID), e.internIDs(terms, sc), sc)
 	putScratch(sc)
 	if at < 0 {
 		at = 0 // head window (see contract above)
 	}
-	return e.snippetAt(docID, int(at), len(terms))
+	return v.snippetAt(docID, int(at), len(terms))
 }
 
-// visitHits evaluates phrase once, ranks the top-k results, and calls fn for
-// each result in rank order with its doc id and the position of the first
-// phrase occurrence (recovered from the phrase hit — the document is never
-// rescanned). Shared kernel of Snippets and VisitSnippetTokens.
-func (e *Engine) visitHits(terms []string, k int, fn func(docID, at int)) {
+// visitHits evaluates phrase once against one view, ranks the top-k results,
+// and calls fn for each result in rank order with its doc id and the
+// position of the first phrase occurrence (recovered from the phrase hit —
+// the document is never rescanned). Shared kernel of Snippets and
+// VisitSnippetTokens; evaluating and rendering against the same view is what
+// keeps a mid-swap query internally consistent.
+func (v *view) visitHits(e *Engine, terms []string, k int, fn func(docID, at int)) {
 	sc := getScratch()
 	defer putScratch(sc)
-	hits := e.phraseHits(e.internIDs(terms, sc), sc)
-	results := e.rankHits(terms, hits, k)
+	hits := v.phraseHits(e.internIDs(terms, sc), sc)
+	results := v.rankHits(terms, hits, k)
 	for _, r := range results {
 		// hits are in ascending doc order; recover this result's hit to
 		// reuse its first-occurrence position.
@@ -508,9 +772,10 @@ func (e *Engine) visitHits(terms []string, k int, fn func(docID, at int)) {
 // relevant-keyword mining.
 func (e *Engine) Snippets(phrase string, k int) []string {
 	terms := textproc.Words(phrase)
+	v := e.queryView()
 	out := make([]string, 0, k)
-	e.visitHits(terms, k, func(docID, at int) {
-		out = append(out, e.snippetAt(docID, at, len(terms)))
+	v.visitHits(e, terms, k, func(docID, at int) {
+		out = append(out, v.snippetAt(docID, at, len(terms)))
 	})
 	return out
 }
@@ -522,8 +787,9 @@ func (e *Engine) Snippets(phrase string, k int) []string {
 // storage and must not be modified or retained.
 func (e *Engine) VisitSnippetTokens(phrase string, k int, visit func(tokens []uint32, lo, hi int)) {
 	terms := textproc.Words(phrase)
-	e.visitHits(terms, k, func(docID, at int) {
-		d := &e.Docs[docID]
+	v := e.queryView()
+	v.visitHits(e, terms, k, func(docID, at int) {
+		d := &v.docs[docID]
 		lo := at - SnippetWidth
 		if lo < 0 {
 			lo = 0

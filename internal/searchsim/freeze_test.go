@@ -11,12 +11,24 @@ import (
 	"testing"
 )
 
+// listView wraps a single posting list (raw or frozen) in a one-segment
+// view, the shape every cursor now reads through. The segment width is a
+// huge sentinel: these property tests exercise within-segment decoding, and
+// a single segment never hands off to a successor.
+func listView(raw []postingList, frozen []frozenList) *view {
+	const width = 1 << 30
+	if frozen != nil {
+		return &view{segs: []*segment{newFrozenSegment(0, width, frozen)}}
+	}
+	return &view{segs: []*segment{newRawSegment(0, width, raw)}}
+}
+
 // cursorDump decodes an entire frozen list through the termCursor, the only
 // read path production code uses.
-func cursorDump(t *testing.T, e *Engine, id uint32) (docs []int32, poss [][]int32) {
+func cursorDump(t *testing.T, v *view, id uint32) (docs []int32, poss [][]int32) {
 	t.Helper()
 	var c termCursor
-	if !c.init(e, id) {
+	if !c.init(v, id) {
 		return nil, nil
 	}
 	for doc, ok := c.seekGEQ(0); ok; doc, ok = c.seekGEQ(doc + 1) {
@@ -34,11 +46,11 @@ func cursorDump(t *testing.T, e *Engine, id uint32) (docs []int32, poss [][]int3
 // both via sequential iteration and via random-order galloping seeks.
 func checkRoundTrip(t *testing.T, pl postingList, label string) {
 	t.Helper()
-	eRaw := &Engine{raw: []postingList{pl}}
-	eFroz := &Engine{frozen: []frozenList{freezeList(&pl)}}
+	vRaw := listView([]postingList{pl}, nil)
+	vFroz := listView(nil, []frozenList{freezeList(&pl)})
 
-	wantDocs, wantPoss := cursorDump(t, eRaw, 0)
-	gotDocs, gotPoss := cursorDump(t, eFroz, 0)
+	wantDocs, wantPoss := cursorDump(t, vRaw, 0)
+	gotDocs, gotPoss := cursorDump(t, vFroz, 0)
 	if len(gotDocs) != len(wantDocs) {
 		t.Fatalf("%s: %d docs decoded, want %d", label, len(gotDocs), len(wantDocs))
 	}
@@ -58,7 +70,7 @@ func checkRoundTrip(t *testing.T, pl postingList, label string) {
 
 	// Galloping seeks landing on, between, before, and past every doc.
 	var c termCursor
-	if !c.init(eFroz, 0) {
+	if !c.init(vFroz, 0) {
 		if len(wantDocs) != 0 {
 			t.Fatalf("%s: frozen cursor refused non-empty list", label)
 		}

@@ -186,12 +186,23 @@ func freezeListAs(pl *postingList, mode int) frozenList {
 // nblocks returns the number of skip blocks.
 func (fl *frozenList) nblocks() int { return len(fl.skipFirstDoc) }
 
-// termCursor iterates one term's postings in ascending doc order with
-// galloping forward seeks, over either representation. Cursors live in
-// pooled evalScratch; init rebinds a cursor without dropping its grown
-// position buffer.
+// termCursor iterates one term's postings in ascending global doc order
+// across the view's whole segment stack, with galloping forward seeks over
+// either representation within a segment. The cursor binds one segment at a
+// time (the per-list state below); when a seek target passes the bound
+// segment's doc range — or the segment's list is exhausted — nextSeg
+// advances to the next segment holding postings and local doc ids are
+// remapped through the segment base. Cursors live in pooled evalScratch;
+// init rebinds a cursor without dropping its grown position buffer.
 type termCursor struct {
-	n int // doc count
+	n int // total doc count across all segments
+
+	v  *view
+	id uint32
+	si int // index in v.segs of the bound segment
+
+	base   int32 // bound segment's base: global doc = base + local doc
+	segEnd int32 // bound segment's exclusive global doc bound
 
 	// raw mode
 	pl *postingList
@@ -216,39 +227,81 @@ type termCursor struct {
 	ppi int
 }
 
-// init binds the cursor to term id. Reports false when the term has no
-// postings (including NoID terms absent from the corpus vocabulary).
-func (c *termCursor) init(e *Engine, id uint32) bool {
+// init binds the cursor to term id within view v. Reports false when the
+// term has no postings in any visible segment (including NoID terms absent
+// from the corpus vocabulary).
+func (c *termCursor) init(v *view, id uint32) bool {
+	c.v, c.id = v, id
 	c.pl, c.fl = nil, nil
-	c.ri, c.blk, c.bi, c.blockLen = 0, -1, 0, 0
-	c.freqLoaded, c.posLoaded = false, false
+	c.si = -1
 	c.ppi = 0
-	if id == noTermID || int(id) >= e.numTerms() {
+	c.n = 0
+	if id == noTermID {
 		return false
 	}
-	if e.frozen != nil {
-		fl := &e.frozen[id]
-		if fl.nDocs == 0 {
-			return false
-		}
-		c.fl, c.n = fl, int(fl.nDocs)
-		return true
+	for _, s := range v.segs {
+		c.n += s.df(id)
 	}
-	pl := &e.raw[id]
-	if len(pl.docs) == 0 {
+	if c.n == 0 {
 		return false
 	}
-	c.pl, c.n = pl, len(pl.docs)
-	return true
+	return c.nextSeg()
 }
 
-// seekGEQ advances to the first doc >= d (forward-only) and returns it.
-// ok is false when the list is exhausted.
-func (c *termCursor) seekGEQ(d int32) (doc int32, ok bool) {
-	if c.pl != nil {
-		return c.seekRaw(d)
+// nextSeg binds the next segment (after si) in which the term has postings,
+// resetting the per-list state. Reports false when the stack is exhausted.
+func (c *termCursor) nextSeg() bool {
+	for c.si++; c.si < len(c.v.segs); c.si++ {
+		s := c.v.segs[c.si]
+		if s.df(c.id) == 0 {
+			continue
+		}
+		c.base, c.segEnd = s.base, s.base+s.nDocs
+		c.ri, c.blk, c.bi, c.blockLen = 0, -1, 0, 0
+		c.freqLoaded, c.posLoaded = false, false
+		c.ppi = 0
+		if s.frozen != nil {
+			c.fl, c.pl = &s.frozen[c.id], nil
+		} else {
+			c.pl, c.fl = s.rawList(c.id), nil
+		}
+		return true
 	}
-	return c.seekFrozen(d)
+	c.pl, c.fl = nil, nil
+	return false
+}
+
+// seekGEQ advances to the first global doc >= d (forward-only) and returns
+// it. ok is false when every segment's list is exhausted. Within the bound
+// segment the per-representation seeks gallop exactly as in the single-
+// segment engine; segments whose range ends before d are skipped whole.
+func (c *termCursor) seekGEQ(d int32) (doc int32, ok bool) {
+	for c.pl != nil || c.fl != nil {
+		if d >= c.segEnd {
+			if !c.nextSeg() {
+				return 0, false
+			}
+			continue
+		}
+		local := d - c.base
+		if local < 0 {
+			local = 0
+		}
+		var ld int32
+		var lok bool
+		if c.pl != nil {
+			ld, lok = c.seekRaw(local)
+		} else {
+			ld, lok = c.seekFrozen(local)
+		}
+		if lok {
+			return c.base + ld, true
+		}
+		if !c.nextSeg() {
+			return 0, false
+		}
+	}
+	return 0, false
 }
 
 // seekRaw gallops in the uncompressed doc slice from the current offset.
@@ -477,7 +530,7 @@ type evalScratch struct {
 // The returned slice aliases sc.hits.
 //
 //kw:hotpath
-func (e *Engine) phraseHits(ids []uint32, sc *evalScratch) []phraseHit {
+func (v *view) phraseHits(ids []uint32, sc *evalScratch) []phraseHit {
 	k := len(ids)
 	if k == 0 {
 		return nil
@@ -487,7 +540,7 @@ func (e *Engine) phraseHits(ids []uint32, sc *evalScratch) []phraseHit {
 	}
 	cs := sc.cursors[:k]
 	for i, id := range ids {
-		if !cs[i].init(e, id) {
+		if !cs[i].init(v, id) {
 			return nil
 		}
 	}
@@ -558,7 +611,7 @@ outer:
 // full occurrence.
 //
 //kw:hotpath
-func (e *Engine) countPhraseDocs(ids []uint32, sc *evalScratch) int {
+func (v *view) countPhraseDocs(ids []uint32, sc *evalScratch) int {
 	k := len(ids)
 	if k == 0 {
 		return 0
@@ -568,7 +621,7 @@ func (e *Engine) countPhraseDocs(ids []uint32, sc *evalScratch) int {
 	}
 	cs := sc.cursors[:k]
 	for i, id := range ids {
-		if !cs[i].init(e, id) {
+		if !cs[i].init(v, id) {
 			return 0
 		}
 	}
@@ -628,14 +681,14 @@ outer:
 // the same leapfrog as phraseHits but never touches position streams.
 //
 //kw:hotpath
-func (e *Engine) intersectCount(ids []uint32, sc *evalScratch) int {
+func (v *view) intersectCount(ids []uint32, sc *evalScratch) int {
 	k := len(ids)
 	if cap(sc.cursors) < k {
 		sc.cursors = append(sc.cursors[:cap(sc.cursors)], make([]termCursor, k-cap(sc.cursors))...)
 	}
 	cs := sc.cursors[:k]
 	for i, id := range ids {
-		if !cs[i].init(e, id) {
+		if !cs[i].init(v, id) {
 			return 0
 		}
 	}

@@ -1,0 +1,264 @@
+package searchsim
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// buildLiveSegmented freezes the first base docs and appends the rest through
+// the live path in commits of batch docs, so the published stack holds many
+// small raw segments and every multi-doc query crosses segment boundaries.
+func buildLiveSegmented(docs []rawDoc, base, batch int) *Engine {
+	e := NewEngine()
+	for _, d := range docs[:base] {
+		e.addTokenized(d.text, d.tokens, d.topic)
+	}
+	e.Freeze()
+	for i := base; i < len(docs); i++ {
+		e.addTokenized(docs[i].text, docs[i].tokens, docs[i].topic)
+		if (i-base+1)%batch == 0 {
+			e.Commit()
+		}
+	}
+	e.Commit()
+	return e
+}
+
+// fromScratch builds and freezes an engine over the full doc set in one pass —
+// the reference every live-segmented answer must match byte for byte.
+func fromScratch(docs []rawDoc) *Engine {
+	e := NewEngine()
+	for _, d := range docs {
+		e.addTokenized(d.text, d.tokens, d.topic)
+	}
+	e.Freeze()
+	return e
+}
+
+// boundaryQueries is the query mix the live/from-scratch comparisons sweep:
+// every single term, plus phrases of increasing length so the leapfrog
+// intersection has to seek across segment boundaries in both directions.
+func boundaryQueries() []string {
+	qs := make([]string, 0, 80)
+	for i := 0; i < 60; i++ {
+		qs = append(qs, fmt.Sprintf("w%02d", i))
+	}
+	qs = append(qs,
+		"w00 w01", "w07 w08 w09", "w10 w11 w12 w13",
+		"w30 w31", "w45 w46 w47", "w58 w59",
+		"w03 w03", "w20 w40", "missing w01", "w59 missing",
+	)
+	return qs
+}
+
+// The multi-segment cursor must answer every query identically to a single
+// frozen segment over the same docs: counts, any-order counts, ranked results
+// with their scores and tie order, snippets, and OR retrieval.
+func TestLiveSegmentBoundarySeeks(t *testing.T) {
+	docs := randomRawDocs(17, 200)
+	live := buildLiveSegmented(docs, 40, 7) // ~23 raw segments above the base
+	want := fromScratch(docs)
+	if st := live.Stats(); st.Segments < 10 {
+		t.Fatalf("test needs many segments to cross, got %d", st.Segments)
+	}
+	for _, q := range boundaryQueries() {
+		if g, w := live.ResultCount(q), want.ResultCount(q); g != w {
+			t.Fatalf("ResultCount(%q) = %d, want %d", q, g, w)
+		}
+		if g, w := live.ResultCountAnyOrder(q), want.ResultCountAnyOrder(q); g != w {
+			t.Fatalf("ResultCountAnyOrder(%q) = %d, want %d", q, g, w)
+		}
+		if g, w := live.Search(q, 50), want.Search(q, 50); !reflect.DeepEqual(g, w) {
+			t.Fatalf("Search(%q) diverged:\n  got  %v\n  want %v", q, g, w)
+		}
+		if g, w := live.Snippets(q, 20), want.Snippets(q, 20); !reflect.DeepEqual(g, w) {
+			t.Fatalf("Snippets(%q) diverged", q)
+		}
+		if g, w := live.SearchAnyTerm(q, 30), want.SearchAnyTerm(q, 30); !reflect.DeepEqual(g, w) {
+			t.Fatalf("SearchAnyTerm(%q) diverged", q)
+		}
+	}
+}
+
+// An empty Commit — no pending memtable docs — must not move the epoch, grow
+// the segment stack, or invalidate the ResultCount memo.
+func TestLiveEmptyCommitNoOp(t *testing.T) {
+	docs := randomRawDocs(19, 30)
+	e := fromScratch(docs)
+	e.ResultCount("w01") // populate the memo
+	before := e.Stats()
+	if ep := e.Commit(); ep != before.Epoch {
+		t.Fatalf("empty Commit moved epoch %d -> %d", before.Epoch, ep)
+	}
+	after := e.Stats()
+	if after.Segments != before.Segments || after.Epoch != before.Epoch {
+		t.Fatalf("empty Commit changed the stack: %+v -> %+v", before, after)
+	}
+	e.ResultCount("w01")
+	if st := e.Stats(); st.CacheHits == 0 {
+		t.Fatal("empty Commit discarded the ResultCount memo")
+	}
+}
+
+// The memtable must auto-seal at memFlushDocs without an explicit Commit,
+// making exactly the sealed docs visible and advancing the epoch once.
+func TestLiveAutoFlush(t *testing.T) {
+	e := NewEngine()
+	e.Add("base doc", 0)
+	e.Freeze()
+	ep0 := e.Epoch()
+	for i := 0; i < memFlushDocs-1; i++ {
+		e.Add(fmt.Sprintf("filler f%03d", i), 0)
+	}
+	if n := e.NumDocs(); n != 1 {
+		t.Fatalf("memtable leaked before the flush threshold: NumDocs = %d, want 1", n)
+	}
+	e.Add("final straw", 0)
+	if n := e.NumDocs(); n != 1+memFlushDocs {
+		t.Fatalf("auto-flush did not publish: NumDocs = %d, want %d", n, 1+memFlushDocs)
+	}
+	if ep := e.Epoch(); ep != ep0+1 {
+		t.Fatalf("auto-flush epoch = %d, want %d", ep, ep0+1)
+	}
+	if st := e.Stats(); st.MemDocs != 0 {
+		t.Fatalf("memtable not drained by auto-flush: %d pending", st.MemDocs)
+	}
+	if got := e.ResultCount("final straw"); got != 1 {
+		t.Fatalf("flushed doc not queryable: ResultCount = %d, want 1", got)
+	}
+}
+
+// Compaction is deterministic: CompactAll at every worker count produces a
+// frozen segment bit-identical to a from-scratch freeze over the same docs,
+// and answers are unchanged across the merge.
+func TestCompactionWorkerEquivalence(t *testing.T) {
+	docs := randomRawDocs(23, 180)
+	want := fromScratch(docs)
+	for _, w := range []int{1, 4, 0} {
+		live := buildLiveSegmented(docs, 60, 9)
+		countBefore := live.ResultCount("w05 w06")
+		epBefore := live.Epoch()
+		if !live.CompactAll(w) {
+			t.Fatalf("workers=%d: CompactAll did not merge a multi-segment stack", w)
+		}
+		st := live.Stats()
+		if st.Segments != 1 || st.Compactions != 1 {
+			t.Fatalf("workers=%d: post-compaction stats %+v", w, st)
+		}
+		if live.Epoch() != epBefore {
+			t.Fatalf("workers=%d: compaction moved the epoch (no visibility change)", w)
+		}
+		if !reflect.DeepEqual(live.segs[0].frozen, want.segs[0].frozen) {
+			t.Fatalf("workers=%d: merged frozen image differs from from-scratch freeze", w)
+		}
+		if got := live.ResultCount("w05 w06"); got != countBefore {
+			t.Fatalf("workers=%d: compaction changed an answer: %d -> %d", w, countBefore, got)
+		}
+	}
+}
+
+// Size-tiered Compact must merge only eligible runs, preserve every answer,
+// and report false once no run qualifies.
+func TestCompactSizeTiered(t *testing.T) {
+	docs := randomRawDocs(29, 160)
+	live := buildLiveSegmented(docs, 40, 6)
+	want := fromScratch(docs)
+	rounds := 0
+	for live.Compact(2) {
+		rounds++
+		if rounds > 100 {
+			t.Fatal("Compact never converged")
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("no compaction ran over a tall raw-segment stack")
+	}
+	st := live.Stats()
+	if st.Segments >= 20 {
+		t.Fatalf("size-tiered compaction left %d segments", st.Segments)
+	}
+	for _, q := range []string{"w00", "w10 w11", "w30 w31 w32", "w59"} {
+		if g, w := live.ResultCount(q), want.ResultCount(q); g != w {
+			t.Fatalf("ResultCount(%q) = %d after compaction, want %d", q, g, w)
+		}
+	}
+}
+
+// Queries racing the snapshot swap: one writer appends and commits, one
+// compactor folds segments, many readers query. Run under -race this pins the
+// no-torn-view contract; the monotonicity asserts catch a reader observing a
+// rolled-back horizon.
+func TestLiveQueryDuringSwapRace(t *testing.T) {
+	docs := randomRawDocs(31, 400)
+	e := NewEngine()
+	for _, d := range docs[:50] {
+		e.addTokenized(d.text, d.tokens, d.topic)
+	}
+	e.Freeze()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for i := 50; i < len(docs); i++ {
+			e.addTokenized(docs[i].text, docs[i].tokens, docs[i].topic)
+			if i%11 == 0 {
+				e.Commit()
+			}
+		}
+		e.Commit()
+		stop.Store(true)
+	}()
+
+	wg.Add(1)
+	go func() { // compactor
+		defer wg.Done()
+		for !stop.Load() {
+			e.Compact(2)
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			queries := []string{"w01", "w02 w03", "w10 w11 w12", "w40"}
+			lastCount := make([]int, len(queries))
+			lastDocs, lastEpoch := 0, uint64(0)
+			for !stop.Load() {
+				q := queries[r%len(queries)]
+				if n := e.ResultCount(q); n < lastCount[r%len(queries)] {
+					panic(fmt.Sprintf("ResultCount(%q) went backwards: %d -> %d", q, lastCount[r%len(queries)], n))
+				} else {
+					lastCount[r%len(queries)] = n
+				}
+				for _, res := range e.Search(q, 10) {
+					if res.DocID < 0 || res.DocID >= len(docs) {
+						panic(fmt.Sprintf("Search(%q) returned doc %d out of range", q, res.DocID))
+					}
+				}
+				e.Snippets(q, 5)
+				st := e.Stats()
+				if st.Docs < lastDocs || st.Epoch < lastEpoch {
+					panic(fmt.Sprintf("visibility went backwards: docs %d->%d epoch %d->%d",
+						lastDocs, st.Docs, lastEpoch, st.Epoch))
+				}
+				lastDocs, lastEpoch = st.Docs, st.Epoch
+				r++
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	want := fromScratch(docs)
+	for _, q := range []string{"w01", "w02 w03", "w10 w11 w12", "w40"} {
+		if g, w := e.ResultCount(q), want.ResultCount(q); g != w {
+			t.Fatalf("post-race ResultCount(%q) = %d, want %d", q, g, w)
+		}
+	}
+}

@@ -56,8 +56,9 @@ const DefaultFillTimeout = 5 * time.Second
 const numCacheShards = 16
 
 type cacheKey struct {
-	hash uint64
-	top  int
+	hash  uint64
+	top   int
+	epoch uint64 // index visibility epoch: live ingest invalidates by key rotation
 }
 
 type cacheEntry struct {
@@ -149,10 +150,16 @@ func (c *Cache) put(k cacheKey, text string, body []byte) {
 	}
 }
 
-// Do returns the cached response for (text, top) or computes it via fn,
-// coalescing concurrent misses on the same key. fn reports whether its
+// Do returns the cached response for (text, top, epoch) or computes it via
+// fn, coalescing concurrent misses on the same key. fn reports whether its
 // result is cacheable (degraded responses are not). The returned bytes
 // must be treated as read-only.
+//
+// epoch is the index visibility epoch (Server.IndexEpoch; 0 when no live
+// index is wired). It is a key component, not a validity check: entries
+// cached under an older epoch are never served once the epoch moves — they
+// age out of the LRU — and responses for different epochs never coalesce,
+// so a reader can't be handed annotations computed against a stale index.
 //
 // The fill is *detached* from the leader's cancellation: fn runs on a
 // context that inherits the leader's values (chaos plan, tracing) but not
@@ -163,8 +170,8 @@ func (c *Cache) put(k cacheKey, text string, body []byte) {
 // i.e. a clean miss) and every waiter still holding a live context gets
 // the result. An error is returned only to a caller — leader or follower
 // alike — whose ctx expires while waiting.
-func (c *Cache) Do(ctx context.Context, text string, top int, fn func(context.Context) ([]byte, bool)) ([]byte, error) {
-	k := cacheKey{hash: cacheHash(text, top), top: top}
+func (c *Cache) Do(ctx context.Context, text string, top int, epoch uint64, fn func(context.Context) ([]byte, bool)) ([]byte, error) {
+	k := cacheKey{hash: cacheHash(text, top), top: top, epoch: epoch}
 	if body, ok := c.get(k, text); ok {
 		c.hits.Add(1)
 		return body, nil

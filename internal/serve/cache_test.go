@@ -121,7 +121,7 @@ func TestCacheEviction(t *testing.T) {
 	c := NewCache(numCacheShards) // one entry per shard
 	for i := 0; i < 10*numCacheShards; i++ {
 		text := fmt.Sprintf("doc %d", i)
-		if _, err := c.Do(context.Background(), text, 3, func(context.Context) ([]byte, bool) {
+		if _, err := c.Do(context.Background(), text, 3, 0, func(context.Context) ([]byte, bool) {
 			return []byte(text), true
 		}); err != nil {
 			t.Fatal(err)
@@ -151,7 +151,7 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 	wg.Add(followers + 1)
 	go func() {
 		defer wg.Done()
-		body, _ := c.Do(context.Background(), "doc", 3, func(context.Context) ([]byte, bool) {
+		body, _ := c.Do(context.Background(), "doc", 3, 0, func(context.Context) ([]byte, bool) {
 			mu.Lock()
 			computed++
 			mu.Unlock()
@@ -165,7 +165,7 @@ func TestCacheCoalescesConcurrentMisses(t *testing.T) {
 	for i := 1; i <= followers; i++ {
 		go func(i int) {
 			defer wg.Done()
-			body, err := c.Do(context.Background(), "doc", 3, func(context.Context) ([]byte, bool) {
+			body, err := c.Do(context.Background(), "doc", 3, 0, func(context.Context) ([]byte, bool) {
 				mu.Lock()
 				computed++
 				mu.Unlock()
@@ -213,7 +213,7 @@ func TestCacheCancelledLeaderDoesNotPoisonWaiters(t *testing.T) {
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	leaderErr := make(chan error, 1)
 	go func() {
-		_, err := c.Do(leaderCtx, "doc", 3, func(fctx context.Context) ([]byte, bool) {
+		_, err := c.Do(leaderCtx, "doc", 3, 0, func(fctx context.Context) ([]byte, bool) {
 			close(started)
 			select {
 			case <-proceed:
@@ -229,7 +229,7 @@ func TestCacheCancelledLeaderDoesNotPoisonWaiters(t *testing.T) {
 	// A follower parks on the leader's flight.
 	followerBody := make(chan []byte, 1)
 	go func() {
-		body, err := c.Do(context.Background(), "doc", 3, func(context.Context) ([]byte, bool) {
+		body, err := c.Do(context.Background(), "doc", 3, 0, func(context.Context) ([]byte, bool) {
 			t.Error("follower recomputed a coalesced fill")
 			return nil, false
 		})
@@ -257,6 +257,29 @@ func TestCacheCancelledLeaderDoesNotPoisonWaiters(t *testing.T) {
 	}
 }
 
+// TestCacheEpochRotatesKeys: moving the index visibility epoch must turn a
+// warmed key into a miss (annotations may now differ), while requests under
+// the unchanged epoch keep hitting — and a pure epoch echo (same value
+// again) stays a hit.
+func TestCacheEpochRotatesKeys(t *testing.T) {
+	c := NewCache(64)
+	fill := func(tag string) func(context.Context) ([]byte, bool) {
+		return func(context.Context) ([]byte, bool) { return []byte(tag), true }
+	}
+	if body, _ := c.Do(context.Background(), "doc", 3, 1, fill("epoch1")); string(body) != "epoch1" {
+		t.Fatalf("cold fill got %q", body)
+	}
+	if body, _ := c.Do(context.Background(), "doc", 3, 1, fill("recompute")); string(body) != "epoch1" {
+		t.Fatalf("same-epoch request missed: %q", body)
+	}
+	if body, _ := c.Do(context.Background(), "doc", 3, 2, fill("epoch2")); string(body) != "epoch2" {
+		t.Fatalf("epoch move served stale bytes: %q", body)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("counters after epoch rotation: %+v", st)
+	}
+}
+
 // TestCacheFillTimeoutBoundsDetachedFill: a fill that outlives FillTimeout
 // sees its fill context expire even when the caller's context is still
 // live — the bound that keeps an abandoned fill from pinning a gate slot
@@ -264,7 +287,7 @@ func TestCacheCancelledLeaderDoesNotPoisonWaiters(t *testing.T) {
 func TestCacheFillTimeoutBoundsDetachedFill(t *testing.T) {
 	c := NewCache(64)
 	c.FillTimeout = 10 * time.Millisecond
-	body, err := c.Do(context.Background(), "doc", 3, func(fctx context.Context) ([]byte, bool) {
+	body, err := c.Do(context.Background(), "doc", 3, 0, func(fctx context.Context) ([]byte, bool) {
 		select {
 		case <-fctx.Done():
 			return nil, false

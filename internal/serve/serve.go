@@ -95,6 +95,12 @@ type Server struct {
 	// accounting (raw vs Golomb-frozen bytes) and ResultCount memo-cache
 	// counters in /statz. Wired to searchsim.Engine.Stats by cmd/serve.
 	IndexStats func() searchsim.IndexStats
+	// IndexEpoch, when set, reports the index visibility epoch
+	// (searchsim.Engine.Epoch). Cached annotate responses are keyed by it,
+	// so live ingest invalidates the annotation cache exactly when new
+	// documents become visible — never on a pure compaction. Nil (no live
+	// index) pins epoch 0: the cache behaves as before.
+	IndexEpoch func() uint64
 
 	ready       atomic.Bool
 	requests    atomic.Int64
@@ -304,7 +310,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		s.writeRawJSON(w, body)
 		return
 	}
-	body, err := s.Cache.Do(ctx, text, top, func(fctx context.Context) ([]byte, bool) {
+	body, err := s.Cache.Do(ctx, text, top, s.epoch(), func(fctx context.Context) ([]byte, bool) {
 		// fctx is the detached fill context: the leader's values without
 		// its cancellation, bounded by the fill deadline — a cancelled
 		// leader cannot poison the coalesced waiters (DESIGN.md §8).
@@ -343,6 +349,14 @@ func (s *Server) annotateBody(ctx context.Context, text string, top int) (body [
 		return s.marshalAnnotations(text, s.degraded(text, top), true), false
 	}
 	return s.marshalAnnotations(text, anns, false), true
+}
+
+// epoch returns the current index visibility epoch for cache keying.
+func (s *Server) epoch() uint64 {
+	if s.IndexEpoch != nil {
+		return s.IndexEpoch()
+	}
+	return 0
 }
 
 // degraded runs the dictionary-prior fallback and counts it.

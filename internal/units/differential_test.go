@@ -1,7 +1,9 @@
 package units
 
 import (
+	"math"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -28,6 +30,127 @@ func referenceFind(s *Set, tokens []string) []Match {
 		}
 	}
 	return out
+}
+
+// referenceExtract is the direct string-keyed extraction kept as executable
+// specification: n-grams keyed by joined text, per-query dedup through a
+// fresh seen map, splits re-joined per probe. Extract's interned packed-key
+// path must produce an identical unit inventory.
+func referenceExtract(l *querylog.Log, cfg Config) *Set {
+	cfg = cfg.withDefaults()
+	total := float64(l.TotalFreq())
+	if total == 0 {
+		s := &Set{units: map[string]*Unit{}, maxLen: cfg.MaxLen}
+		s.buildIndex()
+		return s
+	}
+	ngramFreq := make(map[string]int64)
+	for _, q := range l.Queries {
+		seen := make(map[string]bool)
+		for n := 1; n <= cfg.MaxLen; n++ {
+			for i := 0; i+n <= len(q.Terms); i++ {
+				g := strings.Join(q.Terms[i:i+n], " ")
+				if !seen[g] {
+					seen[g] = true
+					ngramFreq[g] += int64(q.Freq)
+				}
+			}
+		}
+	}
+	p := func(g string) float64 { return float64(ngramFreq[g]) / total }
+	s := &Set{units: make(map[string]*Unit), maxLen: cfg.MaxLen}
+	var maxTermFreq int64
+	for g, f := range ngramFreq {
+		if strings.IndexByte(g, ' ') < 0 && f > maxTermFreq {
+			maxTermFreq = f
+		}
+	}
+	for g, f := range ngramFreq {
+		if strings.IndexByte(g, ' ') >= 0 {
+			continue
+		}
+		s.units[g] = &Unit{
+			Text:  g,
+			Terms: []string{g},
+			Freq:  f,
+			Score: math.Log1p(float64(f)) / math.Log1p(float64(maxTermFreq)),
+		}
+	}
+	var maxMI float64
+	for n := 2; n <= cfg.MaxLen; n++ {
+		grams := make([]string, 0)
+		for g := range ngramFreq {
+			if strings.Count(g, " ") == n-1 && ngramFreq[g] >= cfg.MinFreq {
+				grams = append(grams, g)
+			}
+		}
+		sort.Strings(grams)
+		for _, g := range grams {
+			terms := strings.Fields(g)
+			mi := math.Inf(1)
+			valid := true
+			for split := 1; split < len(terms); split++ {
+				left := strings.Join(terms[:split], " ")
+				right := strings.Join(terms[split:], " ")
+				if _, ok := s.units[left]; !ok {
+					valid = false
+					break
+				}
+				if _, ok := s.units[right]; !ok {
+					valid = false
+					break
+				}
+				pl, pr := p(left), p(right)
+				if pl == 0 || pr == 0 {
+					valid = false
+					break
+				}
+				if m := math.Log(p(g) / (pl * pr)); m < mi {
+					mi = m
+				}
+			}
+			if !valid || mi < cfg.MinMI {
+				continue
+			}
+			s.units[g] = &Unit{Text: g, Terms: terms, Freq: ngramFreq[g], MI: mi}
+			if mi > maxMI {
+				maxMI = mi
+			}
+		}
+	}
+	for _, u := range s.units {
+		if len(u.Terms) > 1 && maxMI > 0 {
+			u.Score = u.MI / maxMI
+		}
+	}
+	s.buildIndex()
+	return s
+}
+
+// TestDifferentialExtractVsReference mines the same generated query log with
+// the interned packed-key Extract and the string-keyed reference and
+// requires identical unit inventories, field for field.
+func TestDifferentialExtractVsReference(t *testing.T) {
+	w := world.New(world.Config{Seed: 91, VocabSize: 1500, NumTopics: 8, NumConcepts: 250})
+	l := querylog.Generate(w, querylog.Config{Seed: 92})
+	for _, cfg := range []Config{{}, {MaxLen: 4, MinMI: 1.0}, {MinFreq: 2}} {
+		got, want := Extract(l, cfg), referenceExtract(l, cfg)
+		if got.Len() != want.Len() {
+			t.Fatalf("cfg %+v: %d units, reference has %d", cfg, got.Len(), want.Len())
+		}
+		if got.Len() == 0 {
+			t.Fatalf("cfg %+v: no units — test is vacuous", cfg)
+		}
+		for text, wu := range want.units {
+			gu := got.units[text]
+			if gu == nil {
+				t.Fatalf("cfg %+v: unit %q missing", cfg, text)
+			}
+			if !reflect.DeepEqual(*gu, *wu) {
+				t.Fatalf("cfg %+v: unit %q differs:\n got %+v\nwant %+v", cfg, text, *gu, *wu)
+			}
+		}
+	}
 }
 
 // TestDifferentialTrieVsReference scans a generated news corpus against a

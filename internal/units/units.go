@@ -11,6 +11,7 @@ package units
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -77,6 +78,14 @@ type Set struct {
 }
 
 // Extract runs the iterative unit-extraction algorithm over the log.
+//
+// Internally every query term is interned to a dense id and an n-gram is a
+// fixed-width packed key (4 big-endian bytes per id), so the frequency pass
+// allocates once per *distinct* n-gram instead of once per occurrence, and
+// the split validation of iterations 2..MaxLen probes sub-keys by slicing
+// the packed key — no Join/Fields string round-trips. Unit text is only
+// materialized for grams that validate. TestDifferentialExtractVsReference
+// pins the output against the direct string-keyed implementation.
 func Extract(l *querylog.Log, cfg Config) *Set {
 	cfg = cfg.withDefaults()
 	total := float64(l.TotalFreq())
@@ -88,40 +97,71 @@ func Extract(l *querylog.Log, cfg Config) *Set {
 
 	// Pass 1: frequency of every contiguous n-gram, n ≤ MaxLen, weighted by
 	// query frequency. A query contributes each distinct n-gram once.
-	ngramFreq := make(map[string]int64)
+	termID := make(map[string]uint32)
+	var termText []string
+	gramIdx := make(map[string]int32) // packed key -> index into gramFreq
+	var gramFreq []int64
+	var qids []uint32 // reused per-query interned terms
+	var key []byte    // reused packed-key buffer
+	pack := func(ids []uint32) []byte {
+		key = key[:0]
+		for _, id := range ids {
+			key = append(key, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+		}
+		return key
+	}
 	for _, q := range l.Queries {
-		seen := make(map[string]bool)
+		qids = qids[:0]
+		for _, t := range q.Terms {
+			id, ok := termID[t]
+			if !ok {
+				id = uint32(len(termText))
+				termID[t] = id
+				termText = append(termText, t)
+			}
+			qids = append(qids, id)
+		}
+		f := int64(q.Freq)
 		for n := 1; n <= cfg.MaxLen; n++ {
-			for i := 0; i+n <= len(q.Terms); i++ {
-				g := strings.Join(q.Terms[i:i+n], " ")
-				if !seen[g] {
-					seen[g] = true
-					ngramFreq[g] += int64(q.Freq)
+			for i := 0; i+n <= len(qids); i++ {
+				if dupGram(qids, i, n) {
+					continue
+				}
+				k := pack(qids[i : i+n])
+				if idx, ok := gramIdx[string(k)]; ok {
+					gramFreq[idx] += f
+				} else {
+					gramIdx[string(k)] = int32(len(gramFreq))
+					gramFreq = append(gramFreq, f)
 				}
 			}
 		}
 	}
 
-	p := func(g string) float64 { return float64(ngramFreq[g]) / total }
+	// Group the distinct grams by length. Sorted packed keys follow the
+	// deterministic first-appearance id order, so every run processes
+	// candidates identically.
+	byLen := make([][]string, cfg.MaxLen+1)
+	for k := range gramIdx {
+		byLen[len(k)/4] = append(byLen[len(k)/4], k)
+	}
+	for n := range byLen {
+		sort.Strings(byLen[n])
+	}
+	p := func(k string) float64 { return float64(gramFreq[gramIdx[k]]) / total }
 
-	s := &Set{units: make(map[string]*Unit), maxLen: cfg.MaxLen}
+	// validated tracks accepted packed keys only; Unit values are
+	// materialized afterwards from arenas. Inserting the byLen key strings
+	// into the set allocates nothing new, so the whole validation phase is
+	// probe-only.
+	validated := make(map[string]bool, len(gramIdx))
 
 	// Iteration 1: all single terms are units.
 	var maxTermFreq int64
-	for g, f := range ngramFreq {
-		if strings.IndexByte(g, ' ') < 0 && f > maxTermFreq {
+	for _, k := range byLen[1] {
+		validated[k] = true
+		if f := gramFreq[gramIdx[k]]; f > maxTermFreq {
 			maxTermFreq = f
-		}
-	}
-	for g, f := range ngramFreq {
-		if strings.IndexByte(g, ' ') >= 0 {
-			continue
-		}
-		s.units[g] = &Unit{
-			Text:  g,
-			Terms: []string{g},
-			Freq:  f,
-			Score: math.Log1p(float64(f)) / math.Log1p(float64(maxTermFreq)),
 		}
 	}
 
@@ -129,27 +169,22 @@ func Extract(l *querylog.Log, cfg Config) *Set {
 	// of length n is valid only if every split into two previously-validated
 	// units has MI ≥ MinMI; the unit's MI is the minimum over splits
 	// (conservative, mirrors the iterative combination of validated units).
+	type accepted struct {
+		key string
+		mi  float64
+	}
+	var accept []accepted
 	var maxMI float64
 	for n := 2; n <= cfg.MaxLen; n++ {
-		grams := make([]string, 0)
-		for g := range ngramFreq {
-			if strings.Count(g, " ") == n-1 && ngramFreq[g] >= cfg.MinFreq {
-				grams = append(grams, g)
+		for _, g := range byLen[n] {
+			if gramFreq[gramIdx[g]] < cfg.MinFreq {
+				continue
 			}
-		}
-		sort.Strings(grams) // determinism
-		for _, g := range grams {
-			terms := strings.Fields(g)
 			mi := math.Inf(1)
 			valid := true
-			for split := 1; split < len(terms); split++ {
-				left := strings.Join(terms[:split], " ")
-				right := strings.Join(terms[split:], " ")
-				if _, ok := s.units[left]; !ok {
-					valid = false
-					break
-				}
-				if _, ok := s.units[right]; !ok {
+			for split := 1; split < n; split++ {
+				left, right := g[:4*split], g[4*split:]
+				if !validated[left] || !validated[right] {
 					valid = false
 					break
 				}
@@ -166,23 +201,101 @@ func Extract(l *querylog.Log, cfg Config) *Set {
 			if !valid || mi < cfg.MinMI {
 				continue
 			}
-			s.units[g] = &Unit{Text: g, Terms: terms, Freq: ngramFreq[g], MI: mi}
+			validated[g] = true
+			accept = append(accept, accepted{g, mi})
 			if mi > maxMI {
 				maxMI = mi
 			}
 		}
 	}
 
-	// Normalize multi-term scores to [0,1] (paper: "unit scores are also
-	// normalized to be between 0 and 1").
-	for _, u := range s.units {
-		if len(u.Terms) > 1 && maxMI > 0 {
-			u.Score = u.MI / maxMI
+	// Materialize the inventory: one []Unit arena, one shared Terms backing
+	// array, and one byte arena for the multi-term texts (single-term units
+	// reuse the interned term string) — a handful of allocations instead of
+	// three per unit. Capacities are exact, so the appends below never
+	// reallocate and &units[i] pointers stay valid. Multi-term scores are
+	// the paper's normalization MI/maxMI in [0,1].
+	nTerms := len(byLen[1])
+	textBytes := 0
+	for _, a := range accept {
+		n := len(a.key) / 4
+		nTerms += n
+		textBytes += n - 1
+		for i := 0; i < n; i++ {
+			textBytes += len(termText[unpackID(a.key, i)])
 		}
+	}
+	units := make([]Unit, 0, len(byLen[1])+len(accept))
+	termsArena := make([]string, 0, nTerms)
+	var sb strings.Builder
+	sb.Grow(textBytes)
+	type span struct{ off, end int }
+	spans := make([]span, len(accept))
+	for i, a := range accept {
+		off := sb.Len()
+		for j := 0; j < len(a.key)/4; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(termText[unpackID(a.key, j)])
+		}
+		spans[i] = span{off, sb.Len()}
+	}
+	texts := sb.String()
+
+	s := &Set{units: make(map[string]*Unit, cap(units)), maxLen: cfg.MaxLen}
+	for _, k := range byLen[1] {
+		text := termText[unpackID(k, 0)]
+		base := len(termsArena)
+		termsArena = append(termsArena, text)
+		units = append(units, Unit{
+			Text:  text,
+			Terms: termsArena[base:len(termsArena):len(termsArena)],
+			Freq:  gramFreq[gramIdx[k]],
+			Score: math.Log1p(float64(gramFreq[gramIdx[k]])) / math.Log1p(float64(maxTermFreq)),
+		})
+		s.units[text] = &units[len(units)-1]
+	}
+	for i, a := range accept {
+		base := len(termsArena)
+		for j := 0; j < len(a.key)/4; j++ {
+			termsArena = append(termsArena, termText[unpackID(a.key, j)])
+		}
+		score := 0.0
+		if maxMI > 0 {
+			score = a.mi / maxMI
+		}
+		text := texts[spans[i].off:spans[i].end]
+		units = append(units, Unit{
+			Text:  text,
+			Terms: termsArena[base:len(termsArena):len(termsArena)],
+			Freq:  gramFreq[gramIdx[a.key]],
+			MI:    a.mi,
+			Score: score,
+		})
+		s.units[text] = &units[len(units)-1]
 	}
 
 	s.buildIndex()
 	return s
+}
+
+// dupGram reports whether the n-gram at i repeats an earlier occurrence in
+// the same query — the allocation-free form of pass 1's per-query dedup
+// (queries are a handful of terms, so the quadratic scan is cheap).
+func dupGram(qids []uint32, i, n int) bool {
+	for j := 0; j < i; j++ {
+		if slices.Equal(qids[j:j+n], qids[i:i+n]) {
+			return true
+		}
+	}
+	return false
+}
+
+// unpackID reads the i-th id out of a packed n-gram key.
+func unpackID(k string, i int) uint32 {
+	b := i * 4
+	return uint32(k[b])<<24 | uint32(k[b+1])<<16 | uint32(k[b+2])<<8 | uint32(k[b+3])
 }
 
 // buildIndex compiles the unit inventory into the trie matcher and fills
